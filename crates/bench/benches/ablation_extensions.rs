@@ -1,0 +1,70 @@
+//! Ablation of the §6-inspired extensions: exploration mixing, consolidated
+//! pools, and rule pruning — what each costs and what it changes, next to
+//! the paper-default configuration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fact_discovery::{discover_facts, DiscoveryConfig, StrategyKind};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    kgfd_bench::banner("Ablation — discovery extensions (§6 directions)");
+    let (data, model) = kgfd_bench::fb_mini_transe();
+
+    let base = DiscoveryConfig {
+        strategy: StrategyKind::EntityFrequency,
+        top_n: 50,
+        max_candidates: 100,
+        seed: 5,
+        ..DiscoveryConfig::default()
+    };
+    let variants: Vec<(&str, DiscoveryConfig)> = vec![
+        ("paper-default", base.clone()),
+        (
+            "explore-0.25",
+            DiscoveryConfig {
+                exploration_epsilon: 0.25,
+                ..base.clone()
+            },
+        ),
+        (
+            "consolidated-pools",
+            DiscoveryConfig {
+                consolidate_sides: true,
+                ..base.clone()
+            },
+        ),
+        (
+            "rule-pruning",
+            DiscoveryConfig {
+                prune_with_rules: true,
+                ..base.clone()
+            },
+        ),
+    ];
+
+    for (name, config) in &variants {
+        let report = discover_facts(model.as_ref(), &data.train, config);
+        let pruned: usize = report.per_relation.iter().map(|r| r.pruned).sum();
+        println!(
+            "  {:<20} {:>5} facts  MRR {:.4}  {:>6} candidates  {:>4} pruned  {:.3}s",
+            name,
+            report.facts.len(),
+            report.mrr(),
+            report.candidates_generated(),
+            pruned,
+            report.total.as_secs_f64()
+        );
+    }
+
+    let mut group = c.benchmark_group("discovery_extensions");
+    group.sample_size(10);
+    for (name, config) in variants {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(discover_facts(model.as_ref(), &data.train, &config).facts.len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

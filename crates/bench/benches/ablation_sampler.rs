@@ -1,0 +1,64 @@
+//! Design-choice ablation (DESIGN.md §5.2): Walker's alias method vs
+//! CDF binary search for weighted entity sampling — build cost and draw
+//! throughput at pool sizes spanning the per-relation pools of the four
+//! datasets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fact_discovery::{normalize_or_uniform, AliasSampler, CdfSampler};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn weights(n: usize) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(42);
+    normalize_or_uniform((0..n).map(|_| rng.random::<f64>()).collect())
+}
+
+fn bench(c: &mut Criterion) {
+    kgfd_bench::banner("Ablation — alias vs CDF sampling");
+
+    let mut build = c.benchmark_group("sampler_build");
+    build.sample_size(20);
+    for n in [100usize, 1_000, 10_000] {
+        let w = weights(n);
+        build.bench_with_input(BenchmarkId::new("alias", n), &w, |b, w| {
+            b.iter(|| black_box(AliasSampler::new(w)))
+        });
+        build.bench_with_input(BenchmarkId::new("cdf", n), &w, |b, w| {
+            b.iter(|| black_box(CdfSampler::new(w)))
+        });
+    }
+    build.finish();
+
+    let mut draw = c.benchmark_group("sampler_draw_1000");
+    draw.sample_size(20);
+    for n in [100usize, 1_000, 10_000] {
+        let w = weights(n);
+        let alias = AliasSampler::new(&w);
+        let cdf = CdfSampler::new(&w);
+        draw.bench_function(BenchmarkId::new("alias", n), |b| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| {
+                let mut acc = 0usize;
+                for _ in 0..1000 {
+                    acc += alias.sample(&mut rng);
+                }
+                black_box(acc)
+            })
+        });
+        draw.bench_function(BenchmarkId::new("cdf", n), |b| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| {
+                let mut acc = 0usize;
+                for _ in 0..1000 {
+                    acc += cdf.sample(&mut rng);
+                }
+                black_box(acc)
+            })
+        });
+    }
+    draw.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

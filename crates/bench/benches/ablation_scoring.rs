@@ -1,0 +1,42 @@
+//! Design-choice ablation (DESIGN.md §5.3): batched score-vs-all-entities
+//! kernels vs naive per-triple scoring, for every model of the paper's grid.
+//! The batched kernels are what make candidate ranking (the discovery
+//! algorithm's dominant cost) tractable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kgfd_embed::{new_model, ModelKind};
+use kgfd_kg::{EntityId, RelationId, Triple};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    kgfd_bench::banner("Ablation — batched vs pointwise scoring kernels");
+    let n = 2_000;
+    let k = 20;
+    let dim = 32;
+
+    let mut group = c.benchmark_group("score_all_objects");
+    group.sample_size(20);
+    for kind in ModelKind::PAPER_GRID {
+        let model = new_model(kind, n, k, dim, 3);
+        let mut out = vec![0.0f32; n];
+        group.bench_function(BenchmarkId::new("batched", kind.name()), |b| {
+            b.iter(|| {
+                model.score_objects(EntityId(5), RelationId(3), &mut out);
+                black_box(out[0])
+            })
+        });
+        group.bench_function(BenchmarkId::new("pointwise", kind.name()), |b| {
+            b.iter(|| {
+                let mut acc = 0.0f32;
+                for e in 0..n as u32 {
+                    acc += model.score(Triple::new(5u32, 3u32, e));
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

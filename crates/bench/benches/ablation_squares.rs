@@ -1,0 +1,31 @@
+//! Ablation for **§4.3**: CLUSTERING SQUARES' cost blow-up vs the other
+//! clustering measures. Times each strategy's measure-preparation step —
+//! the part that made SQUARES take ~54 h in the paper.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fact_discovery::{Measures, StrategyKind};
+use kgfd_harness::{figures, DatasetRef, Scale};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    kgfd_bench::banner("§4.3 ablation — CLUSTERING SQUARES cost");
+    println!("{}", figures::squares_cost::render(Scale::Mini));
+
+    let data = DatasetRef::Fb15k237.load(Scale::Mini);
+    let mut group = c.benchmark_group("ablation_measure_preparation");
+    group.sample_size(10);
+    for strategy in [
+        StrategyKind::GraphDegree,
+        StrategyKind::ClusteringTriangles,
+        StrategyKind::ClusteringCoefficient,
+        StrategyKind::ClusteringSquares,
+    ] {
+        group.bench_function(strategy.abbrev(), |b| {
+            b.iter(|| black_box(Measures::compute(strategy, &data.train)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Bench for **Figure 10**: efficiency vs `max_candidates` at the pivot
+//! `top_n`. Prints both panels and times the low/high ends of the
+//! `max_candidates` axis for CLUSTERING TRIANGLES.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fact_discovery::{discover_facts, DiscoveryConfig, StrategyKind};
+use kgfd_harness::{figures, run_sweep, Scale, SweepOptions};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    kgfd_bench::banner("Figure 10 — efficiency vs max_candidates");
+    let sweep = run_sweep(Scale::Mini, &SweepOptions::for_scale(Scale::Mini));
+    println!("{}", figures::fig10_candidates_efficiency::render(&sweep));
+
+    let (data, model) = kgfd_bench::fb_mini_transe();
+    let mut group = c.benchmark_group("fig10_efficiency_vs_candidates");
+    group.sample_size(10);
+    for max_candidates in [20usize, 100] {
+        let config = DiscoveryConfig {
+            strategy: StrategyKind::ClusteringTriangles,
+            top_n: 60,
+            max_candidates,
+            seed: 11,
+            ..DiscoveryConfig::default()
+        };
+        group.bench_function(BenchmarkId::from_parameter(max_candidates), |b| {
+            b.iter(|| {
+                black_box(discover_facts(model.as_ref(), &data.train, &config).facts_per_hour())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Bench for **Figure 2**: the discovery algorithm's runtime per sampling
+//! strategy — the measurement the figure plots, here timed by Criterion on
+//! the FB15K-237-like mini dataset with TransE.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fact_discovery::{discover_facts, DiscoveryConfig, StrategyKind};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    kgfd_bench::banner("Figure 2 — discovery runtime per strategy");
+    let (data, model) = kgfd_bench::fb_mini_transe();
+
+    let mut group = c.benchmark_group("fig2_discovery_runtime");
+    group.sample_size(10);
+    for strategy in StrategyKind::PAPER_GRID {
+        let config = DiscoveryConfig {
+            strategy,
+            top_n: 50,
+            max_candidates: 100,
+            seed: 7,
+            ..DiscoveryConfig::default()
+        };
+        group.bench_function(strategy.abbrev(), |b| {
+            b.iter(|| black_box(discover_facts(model.as_ref(), &data.train, &config).facts.len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Bench for **Figure 3**: computing the clustering-coefficient
+//! distribution of each dataset, plus the figure's table (mini scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kgfd_graph_stats::{local_clustering_coefficients, UndirectedAdjacency};
+use kgfd_harness::{figures, DatasetRef, Scale};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    kgfd_bench::banner("Figure 3 — clustering-coefficient distributions");
+    println!("{}", figures::fig3_clustering_dist::render(Scale::Mini));
+
+    let mut group = c.benchmark_group("fig3_clustering");
+    group.sample_size(10);
+    for dataset in DatasetRef::ALL {
+        let data = dataset.load(Scale::Mini);
+        let adj = UndirectedAdjacency::from_store(&data.train);
+        group.bench_function(dataset.name(), |b| {
+            b.iter(|| black_box(local_clustering_coefficients(&adj)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

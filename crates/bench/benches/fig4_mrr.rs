@@ -1,0 +1,52 @@
+//! Bench for **Figure 4**: fact quality (MRR) per strategy. The bench times
+//! the full discovery-plus-ranking pipeline that produces each MRR value and
+//! prints the per-strategy MRRs it measured (mini scale, FB15K-237-like,
+//! TransE).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fact_discovery::{discover_facts, DiscoveryConfig, StrategyKind};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    kgfd_bench::banner("Figure 4 — MRR of discovered facts per strategy");
+    let (data, model) = kgfd_bench::fb_mini_transe();
+
+    for strategy in StrategyKind::PAPER_GRID {
+        let config = DiscoveryConfig {
+            strategy,
+            top_n: 50,
+            max_candidates: 100,
+            seed: 7,
+            ..DiscoveryConfig::default()
+        };
+        let report = discover_facts(model.as_ref(), &data.train, &config);
+        println!(
+            "  {:<24} MRR {:.4} ({} facts)",
+            strategy.name(),
+            report.mrr(),
+            report.facts.len()
+        );
+    }
+
+    let mut group = c.benchmark_group("fig4_quality_pipeline");
+    group.sample_size(10);
+    for strategy in [StrategyKind::UniformRandom, StrategyKind::EntityFrequency] {
+        let config = DiscoveryConfig {
+            strategy,
+            top_n: 50,
+            max_candidates: 100,
+            seed: 7,
+            ..DiscoveryConfig::default()
+        };
+        group.bench_function(strategy.abbrev(), |b| {
+            b.iter(|| {
+                let report = discover_facts(model.as_ref(), &data.train, &config);
+                black_box(report.mrr())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Bench for **Figure 5**: computing the per-node triangle and
+//! clustering-coefficient profiles, plus the correlation analysis printout.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kgfd_graph_stats::{clustering_from_triangles, local_triangle_counts, UndirectedAdjacency};
+use kgfd_harness::{figures, DatasetRef, Scale};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    kgfd_bench::banner("Figure 5 — per-node triangles vs clustering coefficient");
+    println!("{}", figures::fig5_node_profiles::render(Scale::Mini));
+
+    let data = DatasetRef::Fb15k237.load(Scale::Mini);
+    let adj = UndirectedAdjacency::from_store(&data.train);
+    let mut group = c.benchmark_group("fig5_node_profiles");
+    group.sample_size(10);
+    group.bench_function("triangles", |b| {
+        b.iter(|| black_box(local_triangle_counts(&adj)))
+    });
+    group.bench_function("triangles_plus_coefficients", |b| {
+        b.iter(|| {
+            let t = local_triangle_counts(&adj);
+            black_box(clustering_from_triangles(&adj, &t))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

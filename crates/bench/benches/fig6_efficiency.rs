@@ -1,0 +1,54 @@
+//! Bench for **Figure 6**: discovery efficiency (facts/hour) per strategy.
+//! Prints the measured efficiencies and times the throughput-critical path
+//! (discovery with a generous `top_n`, where most candidates become facts).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fact_discovery::{discover_facts, DiscoveryConfig, StrategyKind};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    kgfd_bench::banner("Figure 6 — discovery efficiency per strategy");
+    let (data, model) = kgfd_bench::fb_mini_transe();
+
+    for strategy in StrategyKind::PAPER_GRID {
+        let config = DiscoveryConfig {
+            strategy,
+            top_n: 50,
+            max_candidates: 100,
+            seed: 7,
+            ..DiscoveryConfig::default()
+        };
+        let report = discover_facts(model.as_ref(), &data.train, &config);
+        println!(
+            "  {:<24} {:>10.0} facts/hour ({} facts in {:.3}s)",
+            strategy.name(),
+            report.facts_per_hour(),
+            report.facts.len(),
+            report.total.as_secs_f64()
+        );
+    }
+
+    let mut group = c.benchmark_group("fig6_efficiency_pipeline");
+    group.sample_size(10);
+    for strategy in [
+        StrategyKind::ClusteringTriangles,
+        StrategyKind::GraphDegree,
+    ] {
+        let config = DiscoveryConfig {
+            strategy,
+            top_n: 50,
+            max_candidates: 100,
+            seed: 7,
+            ..DiscoveryConfig::default()
+        };
+        group.bench_function(strategy.abbrev(), |b| {
+            b.iter(|| {
+                black_box(discover_facts(model.as_ref(), &data.train, &config).facts_per_hour())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

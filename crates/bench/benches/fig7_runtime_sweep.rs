@@ -1,0 +1,41 @@
+//! Bench for **Figure 7**: runtime as `max_candidates` grows while `top_n`
+//! varies. Times discovery at the sweep's corner points and prints the
+//! full (mini) sweep table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fact_discovery::{discover_facts, DiscoveryConfig, StrategyKind};
+use kgfd_harness::{figures, run_sweep, Scale, SweepOptions};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    kgfd_bench::banner("Figure 7 — runtime vs max_candidates × top_n");
+    let sweep = run_sweep(Scale::Mini, &SweepOptions::for_scale(Scale::Mini));
+    println!("{}", figures::fig7_runtime_sweep::render(&sweep));
+
+    let (data, model) = kgfd_bench::fb_mini_transe();
+    let mut group = c.benchmark_group("fig7_runtime");
+    group.sample_size(10);
+    for max_candidates in [20usize, 60, 100] {
+        for top_n in [10usize, 60] {
+            let config = DiscoveryConfig {
+                strategy: StrategyKind::UniformRandom,
+                top_n,
+                max_candidates,
+                seed: 11,
+                ..DiscoveryConfig::default()
+            };
+            group.bench_function(
+                BenchmarkId::from_parameter(format!("mc{max_candidates}_top{top_n}")),
+                |b| {
+                    b.iter(|| {
+                        black_box(discover_facts(model.as_ref(), &data.train, &config).facts.len())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

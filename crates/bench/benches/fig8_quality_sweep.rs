@@ -1,0 +1,34 @@
+//! Bench for **Figure 8**: MRR under `max_candidates` / `top_n` sweeps with
+//! CLUSTERING TRIANGLES. Prints the two panels and times the quality
+//! pipeline at the pivot configuration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fact_discovery::{discover_facts, DiscoveryConfig, StrategyKind};
+use kgfd_harness::{figures, run_sweep, Scale, SweepOptions};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    kgfd_bench::banner("Figure 8 — MRR under hyperparameter sweeps");
+    let mut options = SweepOptions::for_scale(Scale::Mini);
+    options.strategies = vec![StrategyKind::ClusteringTriangles];
+    let sweep = run_sweep(Scale::Mini, &options);
+    println!("{}", figures::fig8_quality_sweep::render(&sweep));
+
+    let (data, model) = kgfd_bench::fb_mini_transe();
+    let config = DiscoveryConfig {
+        strategy: StrategyKind::ClusteringTriangles,
+        top_n: 60,
+        max_candidates: 100,
+        seed: 11,
+        ..DiscoveryConfig::default()
+    };
+    let mut group = c.benchmark_group("fig8_quality");
+    group.sample_size(10);
+    group.bench_function("pivot_config", |b| {
+        b.iter(|| black_box(discover_facts(model.as_ref(), &data.train, &config).mrr()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Bench for **Figure 9**: efficiency vs `top_n` for CLUSTERING TRIANGLES
+//! and UNIFORM RANDOM. Prints both panels and times the two strategies at
+//! the highest `top_n` (the efficiency-maximizing end of the curve).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fact_discovery::{discover_facts, DiscoveryConfig, StrategyKind};
+use kgfd_harness::{figures, run_sweep, Scale, SweepOptions};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    kgfd_bench::banner("Figure 9 — efficiency vs top_n");
+    let sweep = run_sweep(Scale::Mini, &SweepOptions::for_scale(Scale::Mini));
+    println!("{}", figures::fig9_topn_efficiency::render(&sweep));
+
+    let (data, model) = kgfd_bench::fb_mini_transe();
+    let mut group = c.benchmark_group("fig9_efficiency_vs_topn");
+    group.sample_size(10);
+    for strategy in [
+        StrategyKind::ClusteringTriangles,
+        StrategyKind::UniformRandom,
+    ] {
+        let config = DiscoveryConfig {
+            strategy,
+            top_n: 60,
+            max_candidates: 100,
+            seed: 11,
+            ..DiscoveryConfig::default()
+        };
+        group.bench_function(strategy.abbrev(), |b| {
+            b.iter(|| {
+                black_box(discover_facts(model.as_ref(), &data.train, &config).facts_per_hour())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

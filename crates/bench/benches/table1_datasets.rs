@@ -1,0 +1,25 @@
+//! Bench for **Table 1**: dataset generation + metadata computation, and a
+//! printout of the table itself (mini scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kgfd_datasets::{generate, mini};
+use kgfd_harness::{figures, Scale};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    kgfd_bench::banner("Table 1 — dataset metadata");
+    println!("{}", figures::table1_datasets::render(Scale::Mini));
+
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    for profile in kgfd_datasets::all_paper_profiles() {
+        let p = mini(&profile);
+        group.bench_function(format!("generate/{}", profile.name), |b| {
+            b.iter(|| black_box(generate(&p).unwrap().metadata()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,508 @@
+//! The `kgfd` subcommands. Each returns its report as a `String` so the
+//! commands are directly testable; `main` only prints.
+
+use crate::args::{ArgError, Args};
+use fact_discovery::{discover_facts, DiscoveryConfig, StrategyKind};
+use kgfd_datasets::{
+    codexl_like, fb15k237_like, find_inverse_pairs, generate, mini, toy_biomedical, wn18rr_like,
+    yago310_like,
+};
+use kgfd_embed::{
+    load_model, save_model, train, KgeModel, LossKind, ModelKind, OptimizerKind, TrainConfig,
+};
+use kgfd_eval::{evaluate_per_relation, evaluate_ranking, train_with_early_stopping, EarlyStopping};
+use kgfd_graph_stats::{
+    connected_components, global_transitivity, local_triangle_counts, GraphSummary,
+    UndirectedAdjacency,
+};
+use kgfd_kg::{
+    read_triples_tsv, write_triples_tsv, Dataset, KgError, Triple, TripleStore, Vocabulary,
+};
+use std::error::Error;
+use std::fs::File;
+use std::path::Path;
+
+type CmdResult = Result<String, Box<dyn Error>>;
+
+/// Usage text printed by `kgfd help` and on bad invocations.
+pub const USAGE: &str = "\
+kgfd — fact discovery from knowledge graph embeddings
+
+USAGE: kgfd <COMMAND> [OPTIONS]
+
+COMMANDS:
+  generate  --profile <fb15k237|wn18rr|yago310|codexl|toy> --out <DIR>
+            [--scale <mini|standard>]
+            write a synthetic dataset as train/valid/test TSV
+  stats     --train <TSV>
+            structural statistics of a graph (density, triangles, components)
+  train     --train <TSV> --out <FILE>
+            --model <transe|distmult|complex|rescal|hole|conve|rotate|simple|tucker>
+            [--dim 32] [--epochs 30] [--lr 0.01] [--loss <margin|bce>]
+            [--negatives 4] [--adversarial <TEMP>] [--seed 0]
+            [--valid <TSV> --early-stop]
+            train an embedding model and save it
+  eval      --train <TSV> --test <TSV> --model-file <FILE> [--valid <TSV>]
+            [--per-relation]
+            filtered link-prediction metrics (MRR, Hits@k)
+  discover  --train <TSV> --model-file <FILE> [--strategy <ur|ef|gd|cc|ct|cs|pr>]
+            [--top-n 500] [--max-candidates 500] [--relation <LABEL>]
+            [--explore <EPS>] [--consolidate] [--prune] [--seed 0]
+            [--heldout <TSV>] [--out <TSV>]
+            discover missing facts (Algorithm 1 of the paper)
+  audit-inverse --train <TSV> [--threshold 0.8]
+            detect inverse-relation test-leakage pairs
+  fit       --train <TSV> [--name <NAME>] [--seed 0]
+            infer a synthetic-generator profile from an existing graph (JSON)
+  complete  --train <TSV> --model-file <FILE> --relation <LABEL>
+            (--subject <LABEL> | --object <LABEL>) [--top 10]
+            answer a link-prediction query: rank completions of one side
+  help      this text
+";
+
+/// Dispatches a parsed command line.
+pub fn run(args: &Args) -> CmdResult {
+    match args.command.as_deref() {
+        Some("generate") => cmd_generate(args),
+        Some("stats") => cmd_stats(args),
+        Some("train") => cmd_train(args),
+        Some("eval") => cmd_eval(args),
+        Some("discover") => cmd_discover(args),
+        Some("audit-inverse") => cmd_audit_inverse(args),
+        Some("fit") => cmd_fit(args),
+        Some("complete") => cmd_complete(args),
+        Some("help") | None => Ok(USAGE.to_string()),
+        Some(other) => Err(format!("unknown command {other:?}\n\n{USAGE}").into()),
+    }
+}
+
+fn load_graph(path: &str) -> Result<(Vocabulary, Vec<Triple>), Box<dyn Error>> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let mut vocab = Vocabulary::new();
+    let triples = read_triples_tsv(file, &mut vocab)?;
+    Ok((vocab, triples))
+}
+
+/// Reads a TSV whose labels must already exist in `vocab` (held-out splits
+/// against a training vocabulary).
+fn load_with_vocab(path: &str, vocab: &Vocabulary) -> Result<Vec<Triple>, Box<dyn Error>> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let mut scratch = Vocabulary::new();
+    let raw = read_triples_tsv(file, &mut scratch)?;
+    raw.into_iter()
+        .map(|t| {
+            let lookup_e = |id| -> Result<_, Box<dyn Error>> {
+                let label = scratch.entity_label(id).expect("interned");
+                vocab.entity(label).ok_or_else(|| {
+                    format!("{path}: entity {label:?} not in training graph").into()
+                })
+            };
+            let s = lookup_e(t.subject)?;
+            let o = lookup_e(t.object)?;
+            let rl = scratch.relation_label(t.relation).expect("interned");
+            let r = vocab
+                .relation(rl)
+                .ok_or_else(|| format!("{path}: relation {rl:?} not in training graph"))?;
+            Ok(Triple {
+                subject: s,
+                relation: r,
+                object: o,
+            })
+        })
+        .collect()
+}
+
+fn store_of(vocab: &Vocabulary, triples: Vec<Triple>) -> Result<TripleStore, KgError> {
+    TripleStore::new(vocab.num_entities(), vocab.num_relations(), triples)
+}
+
+fn parse_model(name: &str) -> Result<ModelKind, Box<dyn Error>> {
+    ModelKind::from_name(name)
+        .ok_or_else(|| format!("unknown model {name:?}; see `kgfd help`").into())
+}
+
+fn parse_strategy(name: &str) -> Result<StrategyKind, Box<dyn Error>> {
+    let s = match name.to_ascii_lowercase().as_str() {
+        "ur" | "uniform" | "random_uniform" => StrategyKind::UniformRandom,
+        "ef" | "frequency" | "entity_frequency" => StrategyKind::EntityFrequency,
+        "gd" | "degree" | "graph_degree" => StrategyKind::GraphDegree,
+        "cc" | "coefficient" | "cluster_coefficient" => StrategyKind::ClusteringCoefficient,
+        "ct" | "triangles" | "cluster_triangles" => StrategyKind::ClusteringTriangles,
+        "cs" | "squares" | "cluster_squares" => StrategyKind::ClusteringSquares,
+        "pr" | "pagerank" => StrategyKind::PageRank,
+        _ => return Err(format!("unknown strategy {name:?}; see `kgfd help`").into()),
+    };
+    Ok(s)
+}
+
+fn cmd_generate(args: &Args) -> CmdResult {
+    let out = Path::new(args.required("out")?).to_path_buf();
+    let profile_name = args.required("profile")?;
+    let scale = args.get("scale").unwrap_or("standard");
+    let dataset: Dataset = if profile_name == "toy" {
+        toy_biomedical()
+    } else {
+        let base = match profile_name {
+            "fb15k237" => fb15k237_like(),
+            "wn18rr" => wn18rr_like(),
+            "yago310" => yago310_like(),
+            "codexl" => codexl_like(),
+            other => return Err(format!("unknown profile {other:?}").into()),
+        };
+        let profile = match scale {
+            "standard" => base,
+            "mini" => mini(&base),
+            other => return Err(format!("unknown scale {other:?}").into()),
+        };
+        generate(&profile)?
+    };
+    std::fs::create_dir_all(&out)?;
+    for (name, triples) in [
+        ("train.tsv", dataset.train.triples()),
+        ("valid.tsv", &dataset.valid[..]),
+        ("test.tsv", &dataset.test[..]),
+    ] {
+        let file = File::create(out.join(name))?;
+        write_triples_tsv(file, triples, &dataset.vocab)?;
+    }
+    let m = dataset.metadata();
+    Ok(format!(
+        "wrote {} to {}\n  train {} / valid {} / test {} triples, {} entities, {} relations",
+        m.name,
+        out.display(),
+        m.training,
+        m.validation,
+        m.test,
+        m.entities,
+        m.relations
+    ))
+}
+
+fn cmd_stats(args: &Args) -> CmdResult {
+    let (vocab, triples) = load_graph(args.required("train")?)?;
+    let store = store_of(&vocab, triples)?;
+    let summary = GraphSummary::compute(&store);
+    let adj = UndirectedAdjacency::from_store(&store);
+    let triangles = local_triangle_counts(&adj);
+    let transitivity = global_transitivity(&adj, &triangles);
+    let components = connected_components(&adj);
+    if args.flag("json") {
+        return Ok(serde_json::to_string_pretty(&serde_json::json!({
+            "summary": summary,
+            "transitivity": transitivity,
+            "components": components,
+        }))?);
+    }
+    let cards = kgfd_kg::relation_cardinalities(&store);
+    let count_of = |c: kgfd_kg::Cardinality| cards.iter().filter(|x| x.category == c).count();
+    Ok(format!(
+        "entities            {}\n\
+         relations           {}\n\
+         triples             {}\n\
+         simple edges        {}\n\
+         triples/entity      {:.2}\n\
+         avg clustering      {:.4}\n\
+         transitivity        {:.4}\n\
+         triangles           {}\n\
+         mean degree         {:.2} (max {})\n\
+         components          {} (largest {}, isolated {})\n\
+         relation categories 1-1: {}, 1-N: {}, N-1: {}, N-M: {}\n\
+         complement size     {}",
+        summary.num_entities,
+        summary.num_relations,
+        summary.num_triples,
+        summary.simple_edges,
+        summary.avg_triples_per_entity,
+        summary.avg_clustering,
+        transitivity,
+        summary.total_triangles,
+        summary.mean_degree,
+        summary.max_degree,
+        components.count,
+        components.largest,
+        components.isolated,
+        count_of(kgfd_kg::Cardinality::OneToOne),
+        count_of(kgfd_kg::Cardinality::OneToMany),
+        count_of(kgfd_kg::Cardinality::ManyToOne),
+        count_of(kgfd_kg::Cardinality::ManyToMany),
+        store.complement_size(),
+    ))
+}
+
+fn cmd_train(args: &Args) -> CmdResult {
+    let (vocab, triples) = load_graph(args.required("train")?)?;
+    let store = store_of(&vocab, triples)?;
+    let kind = parse_model(args.required("model")?)?;
+    let loss = match args.get("loss").unwrap_or("bce") {
+        "margin" => LossKind::MarginRanking { margin: 1.0 },
+        "bce" => LossKind::BinaryCrossEntropy,
+        other => return Err(format!("unknown loss {other:?} (margin|bce)").into()),
+    };
+    let config = TrainConfig {
+        dim: args.parse_or("dim", 32, "integer")?,
+        epochs: args.parse_or("epochs", 30, "integer")?,
+        batch_size: args.parse_or("batch-size", 256, "integer")?,
+        negatives: args.parse_or("negatives", 4, "integer")?,
+        loss,
+        optimizer: OptimizerKind::Adam {
+            lr: args.parse_or("lr", 0.01, "number")?,
+        },
+        filter_negatives: true,
+        normalize_entities: kind == ModelKind::TransE,
+        adversarial_temperature: match args.get("adversarial") {
+            Some(raw) => Some(raw.parse().map_err(|_| ArgError::Invalid {
+                key: "adversarial".into(),
+                value: raw.into(),
+                expected: "number",
+            })?),
+            None => None,
+        },
+        seed: args.parse_or("seed", 0, "integer")?,
+    };
+
+    let (model, summary): (Box<dyn KgeModel>, String) = if args.flag("early-stop") {
+        let valid_path = args
+            .get("valid")
+            .ok_or_else(|| ArgError::Missing("valid".into()))?;
+        let valid = load_with_vocab(valid_path, &vocab)?;
+        let (model, stats) =
+            train_with_early_stopping(kind, &store, &valid, &config, EarlyStopping::default());
+        (
+            model,
+            format!(
+                "early stopping: best valid MRR {:.4} after {} epochs",
+                stats.best_mrr, stats.epochs_trained
+            ),
+        )
+    } else {
+        let (model, stats) = train(kind, &store, &config);
+        (
+            model,
+            format!(
+                "final training loss {:.4} over {} epochs",
+                stats.final_loss(),
+                config.epochs
+            ),
+        )
+    };
+
+    let out = args.required("out")?;
+    std::fs::write(out, save_model(model.as_ref()))?;
+    Ok(format!(
+        "trained {kind} (dim {}, {} parameters) on {} triples\n{summary}\nsaved to {out}",
+        config.dim,
+        model.params().num_parameters(),
+        store.len(),
+    ))
+}
+
+fn load_model_file(path: &str) -> Result<Box<dyn KgeModel>, Box<dyn Error>> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Ok(load_model(&bytes)?)
+}
+
+fn check_model_matches(model: &dyn KgeModel, store: &TripleStore) -> Result<(), Box<dyn Error>> {
+    if model.num_entities() != store.num_entities()
+        || model.num_relations() != store.num_relations()
+    {
+        return Err(format!(
+            "model shape ({} entities, {} relations) does not match the graph \
+             ({} entities, {} relations) — was it trained on this --train file?",
+            model.num_entities(),
+            model.num_relations(),
+            store.num_entities(),
+            store.num_relations()
+        )
+        .into());
+    }
+    Ok(())
+}
+
+fn cmd_eval(args: &Args) -> CmdResult {
+    let (vocab, triples) = load_graph(args.required("train")?)?;
+    let store = store_of(&vocab, triples)?;
+    let test = load_with_vocab(args.required("test")?, &vocab)?;
+    let valid = match args.get("valid") {
+        Some(path) => load_with_vocab(path, &vocab)?,
+        None => Vec::new(),
+    };
+    let model = load_model_file(args.required("model-file")?)?;
+    check_model_matches(model.as_ref(), &store)?;
+
+    let known =
+        kgfd_kg::KnownTriples::from_slices([store.triples(), &valid[..], &test[..]]);
+    let summary = evaluate_ranking(model.as_ref(), &test, Some(&known), 4);
+    let mut out = format!(
+        "filtered link prediction on {} test triples ({}):\n{summary}",
+        test.len(),
+        model.kind(),
+    );
+    if args.flag("per-relation") {
+        out.push_str("\nper relation:\n");
+        for p in evaluate_per_relation(model.as_ref(), &test, Some(&known), 4) {
+            out.push_str(&format!(
+                "  {:<24} {}\n",
+                vocab.relation_label(p.relation).unwrap_or("?"),
+                p.summary
+            ));
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_fit(args: &Args) -> CmdResult {
+    let (vocab, triples) = load_graph(args.required("train")?)?;
+    let store = store_of(&vocab, triples)?;
+    let name = args.get("name").unwrap_or("fitted");
+    let seed = args.parse_or("seed", 0, "integer")?;
+    let profile = kgfd_datasets::fit_profile(name, &store, seed);
+    Ok(serde_json::to_string_pretty(&profile)?)
+}
+
+fn cmd_discover(args: &Args) -> CmdResult {
+    let (vocab, triples) = load_graph(args.required("train")?)?;
+    let store = store_of(&vocab, triples)?;
+    let model = load_model_file(args.required("model-file")?)?;
+    check_model_matches(model.as_ref(), &store)?;
+
+    let relations = match args.get("relation") {
+        Some(label) => Some(vec![vocab
+            .relation(label)
+            .ok_or_else(|| format!("relation {label:?} not in the graph"))?]),
+        None => None,
+    };
+    let config = DiscoveryConfig {
+        strategy: parse_strategy(args.get("strategy").unwrap_or("ef"))?,
+        top_n: args.parse_or("top-n", 500, "integer")?,
+        max_candidates: args.parse_or("max-candidates", 500, "integer")?,
+        relations,
+        exploration_epsilon: args.parse_or("explore", 0.0, "number")?,
+        consolidate_sides: args.flag("consolidate"),
+        prune_with_rules: args.flag("prune"),
+        seed: args.parse_or("seed", 0, "integer")?,
+        ..DiscoveryConfig::default()
+    };
+    let report = discover_facts(model.as_ref(), &store, &config);
+
+    let mut facts = report.facts.clone();
+    facts.sort_by(|a, b| a.rank.total_cmp(&b.rank));
+    let mut lines = String::new();
+    for f in &facts {
+        lines.push_str(&format!(
+            "{}\t{}\t{}\t{:.1}\n",
+            vocab.entity_label(f.triple.subject).unwrap_or("?"),
+            vocab.relation_label(f.triple.relation).unwrap_or("?"),
+            vocab.entity_label(f.triple.object).unwrap_or("?"),
+            f.rank
+        ));
+    }
+    if let Some(out) = args.get("out") {
+        std::fs::write(out, &lines)?;
+    }
+    let mut result = format!(
+        "{}: discovered {} facts from {} candidates in {:.2?} \
+         (MRR {:.4}, {:.0} facts/hour)\n",
+        config.strategy,
+        report.facts.len(),
+        report.candidates_generated(),
+        report.total,
+        report.mrr(),
+        report.facts_per_hour(),
+    );
+    let pruned: usize = report.per_relation.iter().map(|r| r.pruned).sum();
+    if pruned > 0 {
+        result.push_str(&format!("{pruned} candidates pruned by rules\n"));
+    }
+    if let Some(heldout_path) = args.get("heldout") {
+        let held_out = load_with_vocab(heldout_path, &vocab)?;
+        let fact_triples: Vec<kgfd_kg::Triple> =
+            report.facts.iter().map(|f| f.triple).collect();
+        let h = kgfd_eval::score_against_held_out(&fact_triples, &held_out, &store);
+        result.push_str(&format!(
+            "held-out check: {}/{} truths rediscovered (recall {:.3}, \
+             reachable-recall {:.3}, precision lower bound {:.3})\n",
+            h.hits, h.held_out, h.recall, h.reachable_recall, h.precision_lower_bound
+        ));
+    }
+    match args.get("out") {
+        Some(out) => result.push_str(&format!("facts written to {out}")),
+        None => {
+            result.push_str("subject\trelation\tobject\trank\n");
+            result.push_str(&lines);
+        }
+    }
+    Ok(result)
+}
+
+fn cmd_complete(args: &Args) -> CmdResult {
+    let (vocab, triples) = load_graph(args.required("train")?)?;
+    let store = store_of(&vocab, triples)?;
+    let model = load_model_file(args.required("model-file")?)?;
+    check_model_matches(model.as_ref(), &store)?;
+
+    let relation_label = args.required("relation")?;
+    let r = vocab
+        .relation(relation_label)
+        .ok_or_else(|| format!("relation {relation_label:?} not in the graph"))?;
+    let top = args.parse_or("top", 10usize, "integer")?;
+
+    let mut scores = vec![0.0f32; store.num_entities()];
+    let (query, fixed_side) = match (args.get("subject"), args.get("object")) {
+        (Some(s), None) => {
+            let sid = vocab
+                .entity(s)
+                .ok_or_else(|| format!("entity {s:?} not in the graph"))?;
+            model.score_objects(sid, r, &mut scores);
+            (format!("({s}, {relation_label}, ?)"), sid)
+        }
+        (None, Some(o)) => {
+            let oid = vocab
+                .entity(o)
+                .ok_or_else(|| format!("entity {o:?} not in the graph"))?;
+            model.score_subjects(r, oid, &mut scores);
+            (format!("(?, {relation_label}, {o})"), oid)
+        }
+        _ => return Err("provide exactly one of --subject or --object".into()),
+    };
+    let _ = fixed_side;
+
+    let mut ranked: Vec<(usize, f32)> = scores.iter().copied().enumerate().collect();
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+    let mut out = format!("top {top} completions of {query} ({}):\n", model.kind());
+    for (e, score) in ranked.into_iter().take(top) {
+        out.push_str(&format!(
+            "  {:<24} {score:.4}\n",
+            vocab
+                .entity_label(kgfd_kg::EntityId(e as u32))
+                .unwrap_or("?")
+        ));
+    }
+    Ok(out)
+}
+
+fn cmd_audit_inverse(args: &Args) -> CmdResult {
+    let (vocab, triples) = load_graph(args.required("train")?)?;
+    let store = store_of(&vocab, triples)?;
+    let threshold = args.parse_or("threshold", 0.8, "number")?;
+    let pairs = find_inverse_pairs(&store, threshold);
+    if pairs.is_empty() {
+        return Ok(format!("no inverse pairs at threshold {threshold}"));
+    }
+    let mut out = format!("{} (near-)inverse pairs at threshold {threshold}:\n", pairs.len());
+    for p in pairs {
+        let kind = if p.relation == p.inverse {
+            "symmetric"
+        } else {
+            "inverse"
+        };
+        out.push_str(&format!(
+            "  {:<10} {} ↔ {} (overlap {:.2})\n",
+            kind,
+            vocab.relation_label(p.relation).unwrap_or("?"),
+            vocab.relation_label(p.inverse).unwrap_or("?"),
+            p.overlap
+        ));
+    }
+    out.push_str("these relations leak test answers; consider removing one direction (cf. FB15K-237 / WN18RR)");
+    Ok(out)
+}

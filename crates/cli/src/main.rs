@@ -1,0 +1,18 @@
+//! `kgfd` binary entry point.
+
+fn main() {
+    let args = match kgfd_cli::Args::parse(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", kgfd_cli::USAGE);
+            std::process::exit(2);
+        }
+    };
+    match kgfd_cli::run(&args) {
+        Ok(report) => println!("{report}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

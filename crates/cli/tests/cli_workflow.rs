@@ -1,0 +1,266 @@
+//! End-to-end CLI workflow tests: generate → stats → train → eval →
+//! discover → audit, all through the library surface the binary wraps.
+
+use kgfd_cli::{run, Args};
+
+fn args(line: &str) -> Args {
+    Args::parse(line.split_whitespace().map(String::from)).unwrap()
+}
+
+fn tempdir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("kgfd-cli-test-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn full_workflow_on_toy_dataset() {
+    let dir = tempdir("workflow");
+    let d = dir.display();
+
+    let out = run(&args(&format!("generate --profile toy --out {d}"))).unwrap();
+    assert!(out.contains("toy-biomedical"), "{out}");
+    assert!(dir.join("train.tsv").exists());
+    assert!(dir.join("valid.tsv").exists());
+    assert!(dir.join("test.tsv").exists());
+
+    let out = run(&args(&format!("stats --train {d}/train.tsv"))).unwrap();
+    assert!(out.contains("entities            16"), "{out}");
+    assert!(out.contains("relations           5"), "{out}");
+    assert!(out.contains("complement size"), "{out}");
+
+    let model = dir.join("model.kgfd");
+    let out = run(&args(&format!(
+        "train --train {d}/train.tsv --model complex --dim 16 --epochs 25 --seed 4 --out {}",
+        model.display()
+    )))
+    .unwrap();
+    assert!(out.contains("trained complex"), "{out}");
+    assert!(model.exists());
+
+    let out = run(&args(&format!(
+        "eval --train {d}/train.tsv --test {d}/test.tsv --valid {d}/valid.tsv --model-file {}",
+        model.display()
+    )))
+    .unwrap();
+    assert!(out.contains("MRR"), "{out}");
+
+    let facts = dir.join("facts.tsv");
+    let out = run(&args(&format!(
+        "discover --train {d}/train.tsv --model-file {} --strategy ct \
+         --top-n 10 --max-candidates 40 --out {}",
+        model.display(),
+        facts.display()
+    )))
+    .unwrap();
+    assert!(out.contains("discovered"), "{out}");
+    let written = std::fs::read_to_string(&facts).unwrap();
+    for line in written.lines() {
+        assert_eq!(line.split('\t').count(), 4, "s, r, o, rank: {line}");
+    }
+
+    let out = run(&args(&format!("audit-inverse --train {d}/train.tsv"))).unwrap();
+    assert!(
+        out.contains("inverse pairs") || out.contains("no inverse pairs"),
+        "{out}"
+    );
+
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn stats_emits_json_when_asked() {
+    let dir = tempdir("json");
+    let d = dir.display();
+    run(&args(&format!("generate --profile toy --out {d}"))).unwrap();
+    let out = run(&args(&format!("stats --train {d}/train.tsv --json"))).unwrap();
+    let parsed: serde_json::Value = serde_json::from_str(&out).unwrap();
+    assert_eq!(parsed["summary"]["num_entities"], 16);
+    assert!(parsed["transitivity"].is_number());
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn early_stopping_path_works() {
+    let dir = tempdir("earlystop");
+    let d = dir.display();
+    run(&args(&format!("generate --profile toy --out {d}"))).unwrap();
+    let model = dir.join("m.kgfd");
+    let out = run(&args(&format!(
+        "train --train {d}/train.tsv --valid {d}/valid.tsv --early-stop \
+         --model distmult --dim 16 --epochs 40 --out {}",
+        model.display()
+    )))
+    .unwrap();
+    assert!(out.contains("early stopping"), "{out}");
+    assert!(model.exists());
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn discover_scores_against_heldout() {
+    let dir = tempdir("heldout");
+    let d = dir.display();
+    run(&args(&format!("generate --profile toy --out {d}"))).unwrap();
+    let model = dir.join("m.kgfd");
+    run(&args(&format!(
+        "train --train {d}/train.tsv --model complex --dim 16 --epochs 30 --seed 4 --out {}",
+        model.display()
+    )))
+    .unwrap();
+    let out = run(&args(&format!(
+        "discover --train {d}/train.tsv --model-file {} --strategy ef \
+         --top-n 16 --max-candidates 100 --heldout {d}/test.tsv --out {d}/f.tsv",
+        model.display()
+    )))
+    .unwrap();
+    assert!(out.contains("held-out check:"), "{out}");
+    assert!(out.contains("recall"), "{out}");
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn fit_emits_a_valid_profile() {
+    let dir = tempdir("fit");
+    let d = dir.display();
+    run(&args(&format!("generate --profile fb15k237 --scale mini --out {d}"))).unwrap();
+    let out = run(&args(&format!("fit --train {d}/train.tsv --name refit"))).unwrap();
+    let profile: serde_json::Value = serde_json::from_str(&out).unwrap();
+    assert_eq!(profile["name"], "refit");
+    assert_eq!(profile["entities"], 145);
+    assert!(profile["entity_skew"].as_f64().unwrap() > 0.0);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn eval_per_relation_lists_relations() {
+    let dir = tempdir("perrel");
+    let d = dir.display();
+    run(&args(&format!("generate --profile toy --out {d}"))).unwrap();
+    let model = dir.join("m.kgfd");
+    run(&args(&format!(
+        "train --train {d}/train.tsv --model distmult --dim 16 --epochs 10 --out {}",
+        model.display()
+    )))
+    .unwrap();
+    let out = run(&args(&format!(
+        "eval --train {d}/train.tsv --test {d}/test.tsv --model-file {} --per-relation",
+        model.display()
+    )))
+    .unwrap();
+    assert!(out.contains("per relation:"), "{out}");
+    assert!(out.contains("treats"), "{out}");
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn complete_ranks_entities_for_a_query() {
+    let dir = tempdir("complete");
+    let d = dir.display();
+    run(&args(&format!("generate --profile toy --out {d}"))).unwrap();
+    let model = dir.join("m.kgfd");
+    run(&args(&format!(
+        "train --train {d}/train.tsv --model complex --dim 16 --epochs 30 --seed 4 --out {}",
+        model.display()
+    )))
+    .unwrap();
+    let out = run(&args(&format!(
+        "complete --train {d}/train.tsv --model-file {} --relation treats --subject drug0 --top 3",
+        model.display()
+    )))
+    .unwrap();
+    assert!(out.contains("top 3 completions of (drug0, treats, ?)"), "{out}");
+    assert_eq!(out.lines().count(), 4, "{out}");
+    // Requiring both or neither side is an error.
+    let err = run(&args(&format!(
+        "complete --train {d}/train.tsv --model-file {} --relation treats",
+        model.display()
+    )))
+    .unwrap_err()
+    .to_string();
+    assert!(err.contains("exactly one"), "{err}");
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn stats_reports_relation_categories() {
+    let dir = tempdir("cats");
+    let d = dir.display();
+    run(&args(&format!("generate --profile toy --out {d}"))).unwrap();
+    let out = run(&args(&format!("stats --train {d}/train.tsv"))).unwrap();
+    assert!(out.contains("relation categories"), "{out}");
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn helpful_errors() {
+    // Unknown command mentions usage.
+    let err = run(&args("frobnicate")).unwrap_err().to_string();
+    assert!(err.contains("unknown command"));
+    // Missing required option is named.
+    let err = run(&args("stats")).unwrap_err().to_string();
+    assert!(err.contains("--train"), "{err}");
+    // Unknown strategy/model are named.
+    let dir = tempdir("errors");
+    let d = dir.display();
+    run(&args(&format!("generate --profile toy --out {d}"))).unwrap();
+    let err = run(&args(&format!(
+        "train --train {d}/train.tsv --model gpt --out {d}/x"
+    )))
+    .unwrap_err()
+    .to_string();
+    assert!(err.contains("unknown model"), "{err}");
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn eval_rejects_mismatched_model() {
+    let dir = tempdir("mismatch");
+    let d = dir.display();
+    run(&args(&format!("generate --profile toy --out {d}"))).unwrap();
+    // Train a model on a *different* (mini fb15k237) graph.
+    let other = tempdir("mismatch-other");
+    let od = other.display();
+    run(&args(&format!(
+        "generate --profile fb15k237 --scale mini --out {od}"
+    )))
+    .unwrap();
+    let model = dir.join("wrong.kgfd");
+    run(&args(&format!(
+        "train --train {od}/train.tsv --model distmult --dim 16 --epochs 2 --out {}",
+        model.display()
+    )))
+    .unwrap();
+    let err = run(&args(&format!(
+        "eval --train {d}/train.tsv --test {d}/test.tsv --model-file {}",
+        model.display()
+    )))
+    .unwrap_err()
+    .to_string();
+    assert!(err.contains("does not match"), "{err}");
+    let _ = std::fs::remove_dir_all(dir);
+    let _ = std::fs::remove_dir_all(other);
+}
+
+#[test]
+fn held_out_split_with_unknown_entity_is_rejected() {
+    let dir = tempdir("unknown-entity");
+    let d = dir.display();
+    run(&args(&format!("generate --profile toy --out {d}"))).unwrap();
+    std::fs::write(dir.join("bad.tsv"), "martian\ttreats\tdisease0\n").unwrap();
+    let model = dir.join("m.kgfd");
+    run(&args(&format!(
+        "train --train {d}/train.tsv --model transe --dim 8 --epochs 2 --out {}",
+        model.display()
+    )))
+    .unwrap();
+    let err = run(&args(&format!(
+        "eval --train {d}/train.tsv --test {d}/bad.tsv --model-file {}",
+        model.display()
+    )))
+    .unwrap_err()
+    .to_string();
+    assert!(err.contains("martian"), "{err}");
+    let _ = std::fs::remove_dir_all(dir);
+}

@@ -1,0 +1,485 @@
+//! `DiscoverFacts` — Algorithm 1 of the paper.
+//!
+//! For each relation `r` of the input graph: weight the per-relation
+//! subject/object entity pools with the chosen strategy, sample
+//! `⌊√max_candidates⌋ + 10` entities per side, take the mesh-grid cross
+//! product with `r`, drop triples already in the graph, and repeat (at most
+//! `max_iterations` times, the paper's constant 5) until `max_candidates`
+//! candidates exist. Candidates are then ranked against their corruptions
+//! (filtered by the training graph) and those ranking within `top_n` are
+//! returned as facts.
+
+use crate::{
+    compute_weights, AliasSampler, CandidateRules, DiscoveredFact, DiscoveryReport,
+    RelationBreakdown, Measures, StrategyKind,
+};
+use kgfd_kg::SideIndex;
+use kgfd_embed::KgeModel;
+use kgfd_eval::rank_all;
+use kgfd_kg::{EntityId, KnownTriples, RelationId, Triple, TripleStore};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+use std::time::Instant;
+
+/// Configuration of one discovery run (the inputs of Algorithm 1).
+#[derive(Debug, Clone)]
+pub struct DiscoveryConfig {
+    /// Sampling strategy for `compute_weights`.
+    pub strategy: StrategyKind,
+    /// Maximum rank a candidate may have to count as a fact (paper: 500).
+    pub top_n: usize,
+    /// Candidate budget per relation (paper: 500).
+    pub max_candidates: usize,
+    /// Generation-loop bound (the paper's default constant 5; surfaced as a
+    /// parameter because §3.1.1 notes it "could arguably be treated as
+    /// another hyperparameter").
+    pub max_iterations: usize,
+    /// Restrict discovery to these relations (`None` = all used relations,
+    /// as in Algorithm 1 line 3).
+    pub relations: Option<Vec<RelationId>>,
+    /// Mixes this fraction of uniform probability into every strategy's
+    /// weights — the exploration/exploitation dial the paper's §6 calls for
+    /// (`0.0` = the paper's pure-exploitation behaviour).
+    pub exploration_epsilon: f64,
+    /// Sample from graph-global side pools instead of per-relation pools
+    /// (AmpliGraph's `consolidate_sides=True`); reaches entities never seen
+    /// with the target relation, at the cost of more implausible candidates.
+    pub consolidate_sides: bool,
+    /// Mine CHAI-style structural rules (functionality, self-loops) from the
+    /// graph and prune candidates before the ranking step (§5.1, §6).
+    pub prune_with_rules: bool,
+    /// Apply the paper's Definition 2.1 literally: keep only facts whose
+    /// *calibrated probability* exceeds the threshold, in addition to the
+    /// `top_n` rank filter. Fit the [`kgfd_eval::Calibration`] on validation
+    /// data; `None` (default) reproduces the paper's rank-only behaviour.
+    pub min_probability: Option<(kgfd_eval::Calibration, f64)>,
+    /// Sampling seed; runs are deterministic given it.
+    pub seed: u64,
+    /// Worker threads for candidate ranking.
+    pub threads: usize,
+}
+
+impl Default for DiscoveryConfig {
+    fn default() -> Self {
+        DiscoveryConfig {
+            strategy: StrategyKind::UniformRandom,
+            top_n: 500,
+            max_candidates: 500,
+            max_iterations: 5,
+            relations: None,
+            exploration_epsilon: 0.0,
+            consolidate_sides: false,
+            prune_with_rules: false,
+            min_probability: None,
+            seed: 0,
+            threads: std::thread::available_parallelism()
+                .map(|p| p.get().min(8))
+                .unwrap_or(1),
+        }
+    }
+}
+
+/// Runs Algorithm 1: discovers facts absent from `store` that `model` ranks
+/// within `config.top_n` of their corruptions.
+pub fn discover_facts(
+    model: &dyn KgeModel,
+    store: &TripleStore,
+    config: &DiscoveryConfig,
+) -> DiscoveryReport {
+    let run_start = Instant::now();
+
+    let prep_start = Instant::now();
+    let measures = Measures::compute(config.strategy, store);
+    let known = KnownTriples::from_slices([store.triples()]);
+    let rules = config
+        .prune_with_rules
+        .then(|| CandidateRules::learn(store, 5));
+    let consolidated = config.consolidate_sides.then(|| {
+        (
+            global_side_index(store, kgfd_kg::Side::Subject),
+            global_side_index(store, kgfd_kg::Side::Object),
+        )
+    });
+    let preparation = prep_start.elapsed();
+
+    let relations = config
+        .relations
+        .clone()
+        .unwrap_or_else(|| store.used_relations());
+    // Line 4: the mesh grid is sample_size², so √max_candidates (+10 slack)
+    // entities per side fill the budget in one iteration in expectation.
+    let sample_size = (config.max_candidates as f64).sqrt() as usize + 10;
+
+    let mut facts = Vec::new();
+    let mut per_relation = Vec::with_capacity(relations.len());
+    let mut generation = std::time::Duration::ZERO;
+    let mut evaluation = std::time::Duration::ZERO;
+
+    for r in relations {
+        // Independent stream per relation: results do not depend on which
+        // other relations run or in what order.
+        let mut rng = StdRng::seed_from_u64(
+            config
+                .seed
+                .wrapping_add((r.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        );
+
+        let gen_start = Instant::now();
+        let (subject_pool, object_pool) = match &consolidated {
+            Some((s_pool, o_pool)) => (s_pool, o_pool),
+            None => (store.subject_index(r), store.object_index(r)),
+        };
+        if subject_pool.is_empty() || object_pool.is_empty() {
+            per_relation.push(RelationBreakdown {
+                relation: r,
+                candidates: 0,
+                facts: 0,
+                pruned: 0,
+                iterations: 0,
+                generation: gen_start.elapsed(),
+                evaluation: std::time::Duration::ZERO,
+            });
+            continue;
+        }
+        let mut s_weights = compute_weights(config.strategy, &measures, subject_pool);
+        let mut o_weights = compute_weights(config.strategy, &measures, object_pool);
+        if config.exploration_epsilon > 0.0 {
+            mix_uniform(&mut s_weights, config.exploration_epsilon);
+            mix_uniform(&mut o_weights, config.exploration_epsilon);
+        }
+        let s_sampler = AliasSampler::new(&s_weights);
+        let o_sampler = AliasSampler::new(&o_weights);
+
+        let mut local: Vec<Triple> = Vec::with_capacity(config.max_candidates);
+        let mut local_seen: HashSet<Triple> = HashSet::with_capacity(config.max_candidates * 2);
+        let mut iterations = 0usize;
+        let mut pruned = 0usize;
+        while local.len() < config.max_candidates && iterations < config.max_iterations {
+            iterations += 1;
+            let s_samples: Vec<EntityId> = (0..sample_size)
+                .map(|_| subject_pool.entities[s_sampler.sample(&mut rng)])
+                .collect();
+            let o_samples: Vec<EntityId> = (0..sample_size)
+                .map(|_| object_pool.entities[o_sampler.sample(&mut rng)])
+                .collect();
+            // Lines 11–13: mesh grid, filter seen, append.
+            'grid: for &s in &s_samples {
+                for &o in &o_samples {
+                    let t = Triple {
+                        subject: s,
+                        relation: r,
+                        object: o,
+                    };
+                    if store.contains(&t) || !local_seen.insert(t) {
+                        continue;
+                    }
+                    if let Some(rules) = &rules {
+                        if !rules.admits(store, &t) {
+                            pruned += 1;
+                            continue;
+                        }
+                    }
+                    local.push(t);
+                    if local.len() >= config.max_candidates {
+                        break 'grid;
+                    }
+                }
+            }
+        }
+        let gen_elapsed = gen_start.elapsed();
+        generation += gen_elapsed;
+
+        // Lines 14–15: rank candidates, keep those within top_n.
+        let eval_start = Instant::now();
+        let ranks = rank_all(model, &local, Some(&known), config.threads);
+        let mut kept = 0usize;
+        for (t, r2) in local.iter().zip(&ranks) {
+            let rank = r2.mean();
+            if rank > config.top_n as f64 {
+                continue;
+            }
+            if let Some((calibration, threshold)) = &config.min_probability {
+                if calibration.probability(model.score(*t)) <= *threshold {
+                    continue;
+                }
+            }
+            kept += 1;
+            facts.push(DiscoveredFact { triple: *t, rank });
+        }
+        let eval_elapsed = eval_start.elapsed();
+        evaluation += eval_elapsed;
+
+        per_relation.push(RelationBreakdown {
+            relation: r,
+            candidates: local.len(),
+            facts: kept,
+            pruned,
+            iterations,
+            generation: gen_elapsed,
+            evaluation: eval_elapsed,
+        });
+    }
+
+    DiscoveryReport {
+        strategy: config.strategy,
+        top_n: config.top_n,
+        max_candidates: config.max_candidates,
+        facts,
+        per_relation,
+        preparation,
+        generation,
+        evaluation,
+        total: run_start.elapsed(),
+    }
+}
+
+/// Graph-global side pool: every entity occurring on `side` of any triple,
+/// with its global occurrence count.
+fn global_side_index(store: &TripleStore, side: kgfd_kg::Side) -> SideIndex {
+    let counts = store.global_side_counts(side);
+    let mut index = SideIndex::default();
+    for (e, &c) in counts.iter().enumerate() {
+        if c > 0 {
+            index.entities.push(EntityId(e as u32));
+            index.counts.push(c);
+        }
+    }
+    index
+}
+
+/// `w ← (1 − ε) w + ε / n` — keeps every pool member reachable.
+fn mix_uniform(weights: &mut [f64], epsilon: f64) {
+    let epsilon = epsilon.clamp(0.0, 1.0);
+    let u = epsilon / weights.len() as f64;
+    for w in weights.iter_mut() {
+        *w = (1.0 - epsilon) * *w + u;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgfd_datasets::toy_biomedical;
+    use kgfd_embed::{train, ModelKind, TrainConfig};
+
+    fn trained_toy() -> (kgfd_kg::Dataset, Box<dyn KgeModel>) {
+        let data = toy_biomedical();
+        let config = TrainConfig {
+            dim: 16,
+            epochs: 40,
+            seed: 5,
+            ..TrainConfig::default()
+        };
+        let (model, _) = train(ModelKind::ComplEx, &data.train, &config);
+        (data, model)
+    }
+
+    fn quick_config(strategy: StrategyKind) -> DiscoveryConfig {
+        DiscoveryConfig {
+            strategy,
+            top_n: 8,
+            max_candidates: 30,
+            seed: 1,
+            threads: 2,
+            ..DiscoveryConfig::default()
+        }
+    }
+
+    #[test]
+    fn discovered_facts_are_novel_and_within_top_n() {
+        let (data, model) = trained_toy();
+        for strategy in StrategyKind::ALL {
+            let report = discover_facts(model.as_ref(), &data.train, &quick_config(strategy));
+            for fact in &report.facts {
+                assert!(
+                    !data.train.contains(&fact.triple),
+                    "{strategy}: rediscovered a training triple"
+                );
+                assert!(fact.rank <= 8.0, "{strategy}: rank above top_n");
+                assert!(fact.rank >= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn discovery_is_deterministic() {
+        let (data, model) = trained_toy();
+        let cfg = quick_config(StrategyKind::EntityFrequency);
+        let a = discover_facts(model.as_ref(), &data.train, &cfg);
+        let b = discover_facts(model.as_ref(), &data.train, &cfg);
+        assert_eq!(a.facts, b.facts);
+    }
+
+    #[test]
+    fn respects_per_relation_candidate_budget() {
+        let (data, model) = trained_toy();
+        let report = discover_facts(
+            model.as_ref(),
+            &data.train,
+            &quick_config(StrategyKind::UniformRandom),
+        );
+        for rel in &report.per_relation {
+            assert!(rel.candidates <= 30);
+            assert!(rel.iterations <= 5);
+            assert!(rel.facts <= rel.candidates);
+        }
+    }
+
+    #[test]
+    fn relation_restriction_is_honored() {
+        let (data, model) = trained_toy();
+        let treats = data.vocab.relation("treats").unwrap();
+        let mut cfg = quick_config(StrategyKind::GraphDegree);
+        cfg.relations = Some(vec![treats]);
+        let report = discover_facts(model.as_ref(), &data.train, &cfg);
+        assert_eq!(report.per_relation.len(), 1);
+        assert!(report.facts.iter().all(|f| f.triple.relation == treats));
+    }
+
+    #[test]
+    fn higher_top_n_discovers_at_least_as_many_facts() {
+        // §4.3.1: top_n only loosens the filter; candidates are unchanged.
+        let (data, model) = trained_toy();
+        let mut tight = quick_config(StrategyKind::EntityFrequency);
+        tight.top_n = 3;
+        let mut loose = tight.clone();
+        loose.top_n = 12;
+        let a = discover_facts(model.as_ref(), &data.train, &tight);
+        let b = discover_facts(model.as_ref(), &data.train, &loose);
+        assert!(b.facts.len() >= a.facts.len());
+        assert_eq!(
+            a.candidates_generated(),
+            b.candidates_generated(),
+            "top_n must not affect generation"
+        );
+    }
+
+    #[test]
+    fn report_mrr_respects_threshold_floor() {
+        // Every kept fact ranks ≤ top_n, so MRR ≥ 1/top_n (§4.2.2).
+        let (data, model) = trained_toy();
+        let report = discover_facts(
+            model.as_ref(),
+            &data.train,
+            &quick_config(StrategyKind::ClusteringTriangles),
+        );
+        if !report.facts.is_empty() {
+            assert!(report.mrr() >= 1.0 / 8.0 - 1e-12);
+        }
+    }
+
+    #[test]
+    fn full_exploration_equals_uniform_random() {
+        // ε = 1.0 replaces any strategy's weights with the uniform ones, so
+        // the sampled candidates (same seeded stream) must match UNIFORM
+        // RANDOM exactly.
+        let (data, model) = trained_toy();
+        let mut explore = quick_config(StrategyKind::ClusteringTriangles);
+        explore.exploration_epsilon = 1.0;
+        let uniform = quick_config(StrategyKind::UniformRandom);
+        let a = discover_facts(model.as_ref(), &data.train, &explore);
+        let b = discover_facts(model.as_ref(), &data.train, &uniform);
+        assert_eq!(a.facts, b.facts);
+    }
+
+    #[test]
+    fn exploration_epsilon_keeps_invariants() {
+        let (data, model) = trained_toy();
+        let mut cfg = quick_config(StrategyKind::EntityFrequency);
+        cfg.exploration_epsilon = 0.3;
+        let report = discover_facts(model.as_ref(), &data.train, &cfg);
+        for fact in &report.facts {
+            assert!(!data.train.contains(&fact.triple));
+            assert!(fact.rank <= 8.0);
+        }
+    }
+
+    #[test]
+    fn consolidated_pools_reach_beyond_relation_sides() {
+        let (data, model) = trained_toy();
+        let treats = data.vocab.relation("treats").unwrap();
+        let mut cfg = quick_config(StrategyKind::UniformRandom);
+        cfg.relations = Some(vec![treats]);
+        cfg.consolidate_sides = true;
+        cfg.top_n = usize::MAX >> 1; // keep all candidates as facts
+        cfg.max_candidates = 200;
+        let report = discover_facts(model.as_ref(), &data.train, &cfg);
+        // With global pools, some generated subjects must fall outside the
+        // per-relation treats subject pool (e.g. proteins).
+        let pool = &data.train.subject_index(treats).entities;
+        assert!(
+            report
+                .facts
+                .iter()
+                .any(|f| pool.binary_search(&f.triple.subject).is_err()),
+            "consolidated sampling never left the per-relation pool"
+        );
+    }
+
+    #[test]
+    fn rule_pruning_only_emits_rule_compliant_facts() {
+        let (data, model) = trained_toy();
+        let mut cfg = quick_config(StrategyKind::GraphDegree);
+        cfg.prune_with_rules = true;
+        cfg.top_n = usize::MAX >> 1;
+        let report = discover_facts(model.as_ref(), &data.train, &cfg);
+        let rules = crate::CandidateRules::learn(&data.train, 5);
+        for fact in &report.facts {
+            assert!(rules.admits(&data.train, &fact.triple));
+        }
+        // The toy graph has functional relations, so something gets pruned.
+        let pruned: usize = report.per_relation.iter().map(|r| r.pruned).sum();
+        assert!(pruned > 0, "expected the rules to prune something");
+    }
+
+    #[test]
+    fn probability_threshold_tightens_the_output() {
+        // Definition 2.1: P(t) > b. A high threshold must subset the
+        // rank-only output; threshold 0 must match it exactly.
+        let (data, model) = trained_toy();
+        let calibration =
+            kgfd_eval::Calibration::fit(model.as_ref(), data.train.triples(), &data.train, 3);
+        let base = quick_config(StrategyKind::EntityFrequency);
+        let rank_only = discover_facts(model.as_ref(), &data.train, &base);
+
+        let mut zero = base.clone();
+        zero.min_probability = Some((calibration, 0.0));
+        let with_zero = discover_facts(model.as_ref(), &data.train, &zero);
+        assert_eq!(rank_only.facts, with_zero.facts);
+
+        let mut strict = base.clone();
+        strict.min_probability = Some((calibration, 0.9));
+        let with_strict = discover_facts(model.as_ref(), &data.train, &strict);
+        assert!(with_strict.facts.len() <= rank_only.facts.len());
+        for f in &with_strict.facts {
+            assert!(calibration.probability(model.score(f.triple)) > 0.9);
+            assert!(rank_only.facts.contains(f), "must be a subset");
+        }
+    }
+
+    #[test]
+    fn can_rediscover_held_out_facts() {
+        // The toy graph's held-out treats facts are rule-derivable; at least
+        // one strategy should surface one of them with a generous budget.
+        let (data, model) = trained_toy();
+        let treats = data.vocab.relation("treats").unwrap();
+        let mut cfg = quick_config(StrategyKind::EntityFrequency);
+        cfg.relations = Some(vec![treats]);
+        cfg.max_candidates = 100;
+        cfg.top_n = 16;
+        let report = discover_facts(model.as_ref(), &data.train, &cfg);
+        let held_out: Vec<Triple> = data.valid.iter().chain(&data.test).copied().collect();
+        let hit = report
+            .facts
+            .iter()
+            .any(|f| held_out.contains(&f.triple));
+        // This is a statistical property of a trained model; the toy graph
+        // and seed are fixed, so the assertion is deterministic.
+        assert!(
+            hit,
+            "expected a held-out treats fact among {:?}",
+            report.facts
+        );
+    }
+}

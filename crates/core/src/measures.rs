@@ -1,0 +1,171 @@
+//! Graph-global node measures backing the side-agnostic strategies.
+//!
+//! Computed once per discovery run and shared across relations — the cost
+//! asymmetry between the "cheap" strategies (uniform/frequency/degree, all
+//! linear) and the triangle- and square-based ones (superlinear) is exactly
+//! what the paper's runtime figures (Figure 2, §4.3) measure, so preparation
+//! time is tracked separately in the discovery report.
+
+use crate::StrategyKind;
+use kgfd_graph_stats::{
+    local_clustering_coefficients, local_triangle_counts, occurrence_degrees,
+    square_clustering_coefficients, UndirectedAdjacency,
+};
+use kgfd_kg::{EntityId, TripleStore};
+
+/// Per-entity weight source for one strategy.
+#[derive(Debug, Clone)]
+pub enum Measures {
+    /// No global measure: weights come from the per-relation pool itself
+    /// (UNIFORM RANDOM and ENTITY FREQUENCY).
+    PoolLocal,
+    /// A global per-entity non-negative measure (degree, triangles,
+    /// clustering coefficient, squares coefficient).
+    Global(Vec<f64>),
+}
+
+impl Measures {
+    /// Computes whatever `strategy` needs on `store`.
+    pub fn compute(strategy: StrategyKind, store: &TripleStore) -> Measures {
+        match strategy {
+            StrategyKind::UniformRandom | StrategyKind::EntityFrequency => Measures::PoolLocal,
+            StrategyKind::GraphDegree => Measures::Global(
+                occurrence_degrees(store)
+                    .into_iter()
+                    .map(|d| d as f64)
+                    .collect(),
+            ),
+            StrategyKind::ClusteringTriangles => {
+                let adj = UndirectedAdjacency::from_store(store);
+                Measures::Global(
+                    local_triangle_counts(&adj)
+                        .into_iter()
+                        .map(|t| t as f64)
+                        .collect(),
+                )
+            }
+            StrategyKind::ClusteringCoefficient => {
+                let adj = UndirectedAdjacency::from_store(store);
+                Measures::Global(local_clustering_coefficients(&adj))
+            }
+            StrategyKind::ClusteringSquares => {
+                let adj = UndirectedAdjacency::from_store(store);
+                Measures::Global(square_clustering_coefficients(&adj))
+            }
+            StrategyKind::PageRank => {
+                let adj = UndirectedAdjacency::from_store(store);
+                Measures::Global(kgfd_graph_stats::pagerank(&adj, 0.85, 100, 1e-9))
+            }
+        }
+    }
+
+    /// The measure value of one entity (1.0 under [`Measures::PoolLocal`],
+    /// where the pool supplies the weights instead).
+    pub fn value(&self, e: EntityId) -> f64 {
+        match self {
+            Measures::PoolLocal => 1.0,
+            Measures::Global(v) => v[e.index()],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgfd_kg::Triple;
+
+    fn triangle_plus_pendant() -> TripleStore {
+        TripleStore::new(
+            4,
+            1,
+            vec![
+                Triple::new(0u32, 0u32, 1u32),
+                Triple::new(1u32, 0u32, 2u32),
+                Triple::new(2u32, 0u32, 0u32),
+                Triple::new(2u32, 0u32, 3u32),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn pool_local_strategies_have_unit_measure() {
+        let store = triangle_plus_pendant();
+        for kind in [StrategyKind::UniformRandom, StrategyKind::EntityFrequency] {
+            let m = Measures::compute(kind, &store);
+            assert_eq!(m.value(EntityId(0)), 1.0);
+            assert_eq!(m.value(EntityId(3)), 1.0);
+        }
+    }
+
+    #[test]
+    fn degree_measure_matches_occurrences() {
+        let store = triangle_plus_pendant();
+        let m = Measures::compute(StrategyKind::GraphDegree, &store);
+        assert_eq!(m.value(EntityId(2)), 3.0);
+        assert_eq!(m.value(EntityId(3)), 1.0);
+    }
+
+    #[test]
+    fn triangle_measure_ignores_pendants() {
+        let store = triangle_plus_pendant();
+        let m = Measures::compute(StrategyKind::ClusteringTriangles, &store);
+        assert_eq!(m.value(EntityId(0)), 1.0);
+        assert_eq!(m.value(EntityId(3)), 0.0);
+    }
+
+    #[test]
+    fn coefficient_penalizes_hubs() {
+        // The star-graph example of §4.2.2: popular hub, zero coefficient.
+        let star = TripleStore::new(
+            5,
+            1,
+            vec![
+                Triple::new(0u32, 0u32, 1u32),
+                Triple::new(0u32, 0u32, 2u32),
+                Triple::new(0u32, 0u32, 3u32),
+                Triple::new(0u32, 0u32, 4u32),
+            ],
+        )
+        .unwrap();
+        let deg = Measures::compute(StrategyKind::GraphDegree, &star);
+        let coeff = Measures::compute(StrategyKind::ClusteringCoefficient, &star);
+        assert!(deg.value(EntityId(0)) > deg.value(EntityId(1)));
+        assert_eq!(coeff.value(EntityId(0)), 0.0);
+    }
+
+    #[test]
+    fn pagerank_measure_favors_hubs() {
+        let star = TripleStore::new(
+            4,
+            1,
+            vec![
+                Triple::new(0u32, 0u32, 1u32),
+                Triple::new(0u32, 0u32, 2u32),
+                Triple::new(0u32, 0u32, 3u32),
+            ],
+        )
+        .unwrap();
+        let m = Measures::compute(StrategyKind::PageRank, &star);
+        assert!(m.value(EntityId(0)) > m.value(EntityId(1)));
+    }
+
+    #[test]
+    fn squares_measure_detects_four_cycles() {
+        let square = TripleStore::new(
+            4,
+            1,
+            vec![
+                Triple::new(0u32, 0u32, 1u32),
+                Triple::new(1u32, 0u32, 2u32),
+                Triple::new(2u32, 0u32, 3u32),
+                Triple::new(3u32, 0u32, 0u32),
+            ],
+        )
+        .unwrap();
+        let m = Measures::compute(StrategyKind::ClusteringSquares, &square);
+        for e in 0..4 {
+            assert!((m.value(EntityId(e)) - 1.0).abs() < 1e-12);
+        }
+    }
+}

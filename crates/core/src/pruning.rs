@@ -1,0 +1,160 @@
+//! Rule-based candidate pruning in the spirit of CHAI (paper §5.1, [6]):
+//! cheap structural rules mined from the training graph that reject
+//! candidates before the expensive ranking step. The paper's §6 names
+//! "devising different pruning mechanisms" as an open direction; these are
+//! the three rules that need no ontology:
+//!
+//! * **functional relations** — if every observed subject of `r` has exactly
+//!   one object (birthplace-style), reject candidates whose subject already
+//!   has an object for `r`;
+//! * **inverse-functional relations** — symmetrically for objects;
+//! * **self-loops** — reject `(e, r, e)` for relations never observed with a
+//!   self-loop.
+
+use kgfd_kg::{RelationId, Triple, TripleStore};
+use std::collections::HashMap;
+
+/// Structural pruning rules learned from a training graph.
+#[derive(Debug, Clone)]
+pub struct CandidateRules {
+    functional: Vec<bool>,
+    inverse_functional: Vec<bool>,
+    self_loops_seen: Vec<bool>,
+}
+
+impl CandidateRules {
+    /// Mines the rules. A relation counts as (inverse-)functional only when
+    /// observed with at least `min_support` triples — low-support relations
+    /// yield unreliable rules.
+    pub fn learn(store: &TripleStore, min_support: usize) -> Self {
+        let k = store.num_relations();
+        let mut functional = vec![false; k];
+        let mut inverse_functional = vec![false; k];
+        let mut self_loops_seen = vec![false; k];
+        for r in 0..k {
+            let rid = RelationId(r as u32);
+            let triples = store.triples_of_relation(rid);
+            if triples.iter().any(|t| t.is_loop()) {
+                self_loops_seen[r] = true;
+            }
+            if triples.len() < min_support {
+                continue;
+            }
+            let mut objects_per_subject: HashMap<u32, usize> = HashMap::new();
+            let mut subjects_per_object: HashMap<u32, usize> = HashMap::new();
+            for t in triples {
+                *objects_per_subject.entry(t.subject.0).or_default() += 1;
+                *subjects_per_object.entry(t.object.0).or_default() += 1;
+            }
+            functional[r] = objects_per_subject.values().all(|&c| c == 1);
+            inverse_functional[r] = subjects_per_object.values().all(|&c| c == 1);
+        }
+        CandidateRules {
+            functional,
+            inverse_functional,
+            self_loops_seen,
+        }
+    }
+
+    /// `true` if relation `r` was mined as functional.
+    pub fn is_functional(&self, r: RelationId) -> bool {
+        self.functional[r.index()]
+    }
+
+    /// `true` if relation `r` was mined as inverse-functional.
+    pub fn is_inverse_functional(&self, r: RelationId) -> bool {
+        self.inverse_functional[r.index()]
+    }
+
+    /// Whether candidate `t` (already known to be absent from the graph)
+    /// survives the rules.
+    pub fn admits(&self, store: &TripleStore, t: &Triple) -> bool {
+        let r = t.relation.index();
+        if t.is_loop() && !self.self_loops_seen[r] {
+            return false;
+        }
+        if self.functional[r]
+            && store
+                .subject_index(t.relation)
+                .entities
+                .binary_search(&t.subject)
+                .is_ok()
+        {
+            // Subject already has its one object for this relation.
+            return false;
+        }
+        if self.inverse_functional[r]
+            && store
+                .object_index(t.relation)
+                .entities
+                .binary_search(&t.object)
+                .is_ok()
+        {
+            return false;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// r0: functional (each subject → one object), no loops.
+    /// r1: non-functional, has a self-loop.
+    fn store() -> TripleStore {
+        TripleStore::new(
+            6,
+            2,
+            vec![
+                Triple::new(0u32, 0u32, 1u32),
+                Triple::new(2u32, 0u32, 3u32),
+                Triple::new(4u32, 0u32, 5u32),
+                Triple::new(0u32, 1u32, 1u32),
+                Triple::new(0u32, 1u32, 2u32),
+                Triple::new(3u32, 1u32, 3u32), // self-loop
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn mines_functionality_with_support() {
+        let rules = CandidateRules::learn(&store(), 2);
+        assert!(rules.is_functional(RelationId(0)));
+        assert!(!rules.is_functional(RelationId(1)), "subject 0 has 2 objects");
+        assert!(rules.is_inverse_functional(RelationId(0)));
+    }
+
+    #[test]
+    fn min_support_disables_unreliable_rules() {
+        let rules = CandidateRules::learn(&store(), 10);
+        assert!(!rules.is_functional(RelationId(0)), "support 3 < 10");
+    }
+
+    #[test]
+    fn functional_rule_rejects_second_object() {
+        let s = store();
+        let rules = CandidateRules::learn(&s, 2);
+        // Subject 0 already has an r0 object → candidate rejected.
+        assert!(!rules.admits(&s, &Triple::new(0u32, 0u32, 5u32)));
+        // Object 5 already has its one r0 subject → inverse rule rejects.
+        assert!(!rules.admits(&s, &Triple::new(1u32, 0u32, 5u32)));
+        // Fresh subject and fresh object → admitted.
+        assert!(rules.admits(&s, &Triple::new(1u32, 0u32, 0u32)));
+    }
+
+    #[test]
+    fn self_loop_rule_follows_observation() {
+        let s = store();
+        let rules = CandidateRules::learn(&s, 2);
+        assert!(
+            !rules.admits(&s, &Triple::new(2u32, 0u32, 2u32)),
+            "r0 never had loops"
+        );
+        assert!(
+            rules.admits(&s, &Triple::new(5u32, 1u32, 5u32)),
+            "r1 has an observed loop"
+        );
+    }
+}

@@ -1,0 +1,173 @@
+//! Weighted sampling of pool indices.
+//!
+//! The discovery inner loop draws `sample_size` entities per side per
+//! iteration, so draw cost matters. [`AliasSampler`] (Walker's method) pays
+//! O(n) once and O(1) per draw; [`CdfSampler`] is the textbook O(log n)
+//! binary-search alternative kept for the `ablation_sampler` bench.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Walker alias-method sampler over `0..n` with fixed weights.
+#[derive(Debug, Clone)]
+pub struct AliasSampler {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl AliasSampler {
+    /// Builds the alias table from normalized weights (must sum to ~1).
+    /// Panics on an empty weight vector.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "cannot sample from an empty pool");
+        let n = weights.len();
+        let mut prob = vec![0.0; n];
+        let mut alias = vec![0usize; n];
+        let mut scaled: Vec<f64> = weights.iter().map(|w| w * n as f64).collect();
+
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        for (i, &p) in scaled.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            prob[s] = scaled[s];
+            alias[s] = l;
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+            if scaled[l] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Leftovers (numerical slack) get probability 1.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i] = 1.0;
+            alias[i] = i;
+        }
+        AliasSampler { prob, alias }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// `true` when the pool is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one index in O(1).
+    #[inline]
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let i = rng.random_range(0..self.prob.len());
+        if rng.random::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+/// CDF + binary-search sampler (O(n) build, O(log n) draw) — the baseline
+/// the alias method is benchmarked against.
+#[derive(Debug, Clone)]
+pub struct CdfSampler {
+    cdf: Vec<f64>,
+}
+
+impl CdfSampler {
+    /// Builds the cumulative distribution. Panics on an empty weight vector.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "cannot sample from an empty pool");
+        let mut cdf = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            acc += w;
+            cdf.push(acc);
+        }
+        // Guard against normalization slack.
+        let total = acc;
+        if total > 0.0 {
+            for v in &mut cdf {
+                *v /= total;
+            }
+        }
+        CdfSampler { cdf }
+    }
+
+    /// Draws one index in O(log n).
+    #[inline]
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.random();
+        self.cdf
+            .partition_point(|&c| c <= u)
+            .min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn empirical(weights: &[f64], draws: usize, seed: u64) -> Vec<f64> {
+        let sampler = AliasSampler::new(weights);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut counts = vec![0usize; weights.len()];
+        for _ in 0..draws {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / draws as f64).collect()
+    }
+
+    #[test]
+    fn alias_matches_target_distribution() {
+        let weights = [0.5, 0.25, 0.125, 0.125];
+        let freq = empirical(&weights, 100_000, 1);
+        for (f, w) in freq.iter().zip(&weights) {
+            assert!((f - w).abs() < 0.01, "freq {f} vs weight {w}");
+        }
+    }
+
+    #[test]
+    fn alias_handles_degenerate_distribution() {
+        let weights = [0.0, 1.0, 0.0];
+        let freq = empirical(&weights, 10_000, 2);
+        assert_eq!(freq[1], 1.0);
+    }
+
+    #[test]
+    fn alias_single_item() {
+        let sampler = AliasSampler::new(&[1.0]);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(sampler.sample(&mut rng), 0);
+        assert_eq!(sampler.len(), 1);
+    }
+
+    #[test]
+    fn cdf_matches_target_distribution() {
+        let weights = [0.1, 0.2, 0.7];
+        let sampler = CdfSampler::new(&weights);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 3];
+        for _ in 0..50_000 {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        for (c, w) in counts.iter().zip(&weights) {
+            let f = *c as f64 / 50_000.0;
+            assert!((f - w).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty pool")]
+    fn empty_weights_panic() {
+        AliasSampler::new(&[]);
+    }
+}

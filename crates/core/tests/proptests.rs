@@ -1,0 +1,120 @@
+//! Property-based tests of the fact-discovery invariants.
+
+use fact_discovery::{
+    compute_weights, discover_facts, normalize_or_uniform, AliasSampler, DiscoveryConfig,
+    Measures, StrategyKind,
+};
+use kgfd_embed::{new_model, ModelKind};
+use kgfd_kg::{Side, Triple, TripleStore};
+use proptest::prelude::*;
+
+const N: u32 = 10;
+const K: u32 = 3;
+
+fn arb_store() -> impl Strategy<Value = TripleStore> {
+    proptest::collection::vec((0..N, 0..K, 0..N), 1..60).prop_map(|raw| {
+        let triples = raw
+            .into_iter()
+            .map(|(s, r, o)| Triple::new(s, r, o))
+            .collect();
+        TripleStore::new(N as usize, K as usize, triples).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn weights_are_a_distribution_for_every_strategy(store in arb_store()) {
+        for kind in StrategyKind::ALL {
+            let m = Measures::compute(kind, &store);
+            for r in store.used_relations() {
+                for side in Side::BOTH {
+                    let w = compute_weights(kind, &m, store.side_index(r, side));
+                    prop_assert!(!w.is_empty());
+                    let sum: f64 = w.iter().sum();
+                    prop_assert!((sum - 1.0).abs() < 1e-9, "{kind}: {sum}");
+                    prop_assert!(w.iter().all(|&x| (0.0..=1.0).contains(&x)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn normalize_or_uniform_always_yields_distribution(
+        weights in proptest::collection::vec(0.0f64..10.0, 1..40)
+    ) {
+        let w = normalize_or_uniform(weights);
+        let sum: f64 = w.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alias_sampler_stays_in_range(
+        weights in proptest::collection::vec(0.0f64..10.0, 1..30),
+        seed in 0u64..1000
+    ) {
+        let w = normalize_or_uniform(weights);
+        let sampler = AliasSampler::new(&w);
+        let mut rng = rand::SeedableRng::seed_from_u64(seed);
+        for _ in 0..100 {
+            let i = sampler.sample(&mut rng);
+            prop_assert!(i < w.len());
+            // Never sample a zero-weight item.
+            prop_assert!(w[i] > 0.0 || w.iter().all(|&x| x == 0.0));
+        }
+    }
+
+    #[test]
+    fn discovery_invariants_hold_on_untrained_models(store in arb_store(), seed in 0u64..100) {
+        // Even with random embeddings the structural invariants must hold.
+        let model = new_model(ModelKind::DistMult, N as usize, K as usize, 8, seed);
+        let config = DiscoveryConfig {
+            strategy: StrategyKind::EntityFrequency,
+            top_n: 5,
+            max_candidates: 20,
+            seed,
+            threads: 1,
+            ..DiscoveryConfig::default()
+        };
+        let report = discover_facts(model.as_ref(), &store, &config);
+        let mut seen = std::collections::HashSet::new();
+        for fact in &report.facts {
+            prop_assert!(!store.contains(&fact.triple), "facts must be novel");
+            prop_assert!(fact.rank >= 1.0 && fact.rank <= N as f64);
+            prop_assert!(fact.rank <= 5.0, "top_n filter");
+            prop_assert!(seen.insert(fact.triple), "facts must be unique");
+        }
+        for rel in &report.per_relation {
+            prop_assert!(rel.candidates <= 20);
+            prop_assert!(rel.facts <= rel.candidates);
+            prop_assert!(rel.iterations <= 5);
+        }
+        prop_assert!(report.mrr() <= 1.0);
+    }
+
+    #[test]
+    fn sampled_entities_come_from_relation_pools(store in arb_store(), seed in 0u64..50) {
+        let model = new_model(ModelKind::TransE, N as usize, K as usize, 8, seed);
+        let config = DiscoveryConfig {
+            strategy: StrategyKind::GraphDegree,
+            top_n: usize::MAX >> 1, // keep everything: inspect raw candidates
+            max_candidates: 30,
+            seed,
+            threads: 1,
+            ..DiscoveryConfig::default()
+        };
+        let report = discover_facts(model.as_ref(), &store, &config);
+        for fact in &report.facts {
+            let r = fact.triple.relation;
+            prop_assert!(store
+                .subject_index(r)
+                .entities
+                .contains(&fact.triple.subject));
+            prop_assert!(store
+                .object_index(r)
+                .entities
+                .contains(&fact.triple.object));
+        }
+    }
+}

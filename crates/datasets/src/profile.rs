@@ -1,0 +1,105 @@
+//! Declarative description of a synthetic dataset's structural shape.
+
+use serde::{Deserialize, Serialize};
+
+/// The knobs of the synthetic generator. Together they determine the
+/// structural properties that drive every result in the paper: size
+/// (entities/relations/triples), popularity skew (Zipf exponents), and
+/// density (community structure → clustering coefficient).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DatasetProfile {
+    /// Dataset name, e.g. `"fb15k237-like"`.
+    pub name: String,
+    /// Number of entities `N`.
+    pub entities: usize,
+    /// Number of relation types `K`.
+    pub relations: usize,
+    /// Target training-triple count.
+    pub train_triples: usize,
+    /// Target validation-triple count.
+    pub valid_triples: usize,
+    /// Target test-triple count.
+    pub test_triples: usize,
+    /// Zipf exponent of entity popularity (0 = uniform, ~1 = web-like skew).
+    pub entity_skew: f64,
+    /// Zipf exponent of relation popularity.
+    pub relation_skew: f64,
+    /// Number of entity communities. Smaller communities + high
+    /// `intra_community` → more triangles → higher clustering coefficient.
+    pub communities: usize,
+    /// Probability that a triple's object is drawn from the subject's
+    /// community rather than globally.
+    pub intra_community: f64,
+    /// Fraction of communities each relation is "about" (relation locality).
+    /// Lower values concentrate each relation on fewer communities, making
+    /// the per-relation subject/object pools distinctive.
+    pub relation_spread: f64,
+    /// RNG seed; the generator is fully deterministic given the profile.
+    pub seed: u64,
+}
+
+impl DatasetProfile {
+    /// Scales all size fields by `factor` (≥ entities ≥ 2, relations ≥ 1,
+    /// splits ≥ 1), keeping structural knobs unchanged. Used to shrink
+    /// experiments for CI and benches without changing the dataset's shape.
+    pub fn scaled(&self, factor: f64) -> DatasetProfile {
+        assert!(factor > 0.0, "scale factor must be positive");
+        let scale = |v: usize, min: usize| ((v as f64 * factor).round() as usize).max(min);
+        DatasetProfile {
+            name: self.name.clone(),
+            entities: scale(self.entities, 2),
+            relations: self.relations, // relation count defines the schema; keep it
+            train_triples: scale(self.train_triples, 10),
+            valid_triples: scale(self.valid_triples, 1),
+            test_triples: scale(self.test_triples, 1),
+            ..*self
+        }
+    }
+
+    /// Average triples per entity implied by the profile — the sparsity
+    /// measure the paper quotes (§4.2.1).
+    pub fn implied_density(&self) -> f64 {
+        2.0 * self.train_triples as f64 / self.entities as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> DatasetProfile {
+        DatasetProfile {
+            name: "p".into(),
+            entities: 1000,
+            relations: 20,
+            train_triples: 10_000,
+            valid_triples: 500,
+            test_triples: 500,
+            entity_skew: 0.9,
+            relation_skew: 0.6,
+            communities: 25,
+            intra_community: 0.7,
+            relation_spread: 0.3,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn scaling_preserves_knobs_and_floors_sizes() {
+        let p = profile();
+        let s = p.scaled(0.1);
+        assert_eq!(s.entities, 100);
+        assert_eq!(s.train_triples, 1000);
+        assert_eq!(s.relations, 20, "schema is not scaled");
+        assert_eq!(s.entity_skew, p.entity_skew);
+        let tiny = p.scaled(1e-9);
+        assert!(tiny.entities >= 2);
+        assert!(tiny.train_triples >= 10);
+    }
+
+    #[test]
+    fn implied_density_matches_formula() {
+        let p = profile();
+        assert!((p.implied_density() - 20.0).abs() < 1e-12);
+    }
+}

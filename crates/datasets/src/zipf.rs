@@ -1,0 +1,112 @@
+//! Zipf (power-law) sampling over ranked items.
+//!
+//! Benchmark knowledge graphs have heavily skewed entity popularity — the
+//! few "good" nodes vs. the long tail the paper discusses in §4.2.2 and §6.
+//! The synthetic generators reproduce that skew by sampling entities from a
+//! Zipf distribution: item of rank `i` (0-based) has weight `1 / (i+1)^s`.
+
+use rand::Rng;
+
+/// Precomputed Zipf CDF over `n` ranked items with exponent `s`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler. `n` must be positive; `s >= 0` (0 = uniform).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one item");
+        assert!(s >= 0.0, "Zipf exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// `true` if there are no items (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws a rank in `0..n` (0 = most popular).
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.random();
+        // partition_point returns the first index with cdf > u.
+        self.cdf.partition_point(|&c| c <= u).min(self.cdf.len() - 1)
+    }
+
+    /// Probability mass of rank `i`.
+    pub fn pmf(&self, i: usize) -> f64 {
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(100, 1.1);
+        let sum: f64 = (0..100).map(|i| z.pmf(i)).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let z = Zipf::new(4, 0.0);
+        for i in 0..4 {
+            assert!((z.pmf(i) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn lower_ranks_are_more_probable() {
+        let z = Zipf::new(50, 1.0);
+        for i in 1..50 {
+            assert!(z.pmf(i - 1) > z.pmf(i));
+        }
+    }
+
+    #[test]
+    fn samples_follow_the_skew() {
+        let z = Zipf::new(10, 1.5);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 10];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[4]);
+        assert!(counts[1] > counts[8]);
+        // Empirical mass of rank 0 within 3 points of theoretical.
+        let p0 = counts[0] as f64 / 20_000.0;
+        assert!((p0 - z.pmf(0)).abs() < 0.03, "p0={p0}, pmf={}", z.pmf(0));
+    }
+
+    #[test]
+    fn single_item_always_sampled() {
+        let z = Zipf::new(1, 2.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+}

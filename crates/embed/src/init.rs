@@ -1,0 +1,48 @@
+//! Embedding initialization.
+
+use crate::ParamTable;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Fills a table with Xavier/Glorot-uniform values: `U(−b, b)` with
+/// `b = √(6 / (fan_in + fan_out))`, using the row width for both fans —
+/// the standard initialization for embedding lookups.
+pub fn xavier_uniform(table: &mut ParamTable, rng: &mut StdRng) {
+    let fan = table.cols() as f32;
+    let bound = (6.0 / (fan + fan)).sqrt();
+    for v in table.data_mut() {
+        *v = rng.random_range(-bound..bound);
+    }
+}
+
+/// Fills a table with `U(−bound, bound)`.
+pub fn uniform(table: &mut ParamTable, rng: &mut StdRng, bound: f32) {
+    for v in table.data_mut() {
+        *v = rng.random_range(-bound..bound);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_respects_bound_and_is_seeded() {
+        let mut a = ParamTable::zeros(10, 16);
+        let mut b = ParamTable::zeros(10, 16);
+        xavier_uniform(&mut a, &mut StdRng::seed_from_u64(3));
+        xavier_uniform(&mut b, &mut StdRng::seed_from_u64(3));
+        assert_eq!(a, b, "same seed, same init");
+        let bound = (6.0f32 / 32.0).sqrt();
+        assert!(a.data().iter().all(|v| v.abs() <= bound));
+        assert!(a.data().iter().any(|v| *v != 0.0));
+    }
+
+    #[test]
+    fn uniform_respects_bound() {
+        let mut t = ParamTable::zeros(4, 4);
+        uniform(&mut t, &mut StdRng::seed_from_u64(1), 0.01);
+        assert!(t.data().iter().all(|v| v.abs() <= 0.01));
+    }
+}

@@ -1,0 +1,45 @@
+//! # kgfd-embed — knowledge graph embedding substrate
+//!
+//! A from-scratch, CPU-only reimplementation of the KGE stack the paper
+//! builds on (LibKGE + the models of §2.1): scoring models with hand-derived
+//! gradients ([`models`]), negative-sampling training ([`train`]) with Adam /
+//! Adagrad / SGD ([`OptimizerKind`]), margin and cross-entropy losses
+//! ([`LossKind`]), and binary persistence ([`save_model`] / [`load_model`]).
+//!
+//! Every model implements [`KgeModel`], whose batched `score_objects` /
+//! `score_subjects` kernels are the primitive the evaluation protocol and
+//! the fact-discovery ranking step consume.
+//!
+//! ```
+//! use kgfd_datasets::toy_biomedical;
+//! use kgfd_embed::{train, ModelKind, TrainConfig};
+//!
+//! let data = toy_biomedical();
+//! let config = TrainConfig { epochs: 5, ..TrainConfig::default() };
+//! let (model, stats) = train(ModelKind::TransE, &data.train, &config);
+//! assert_eq!(stats.epoch_losses.len(), 5);
+//! assert!(model.score(data.train.triples()[0]).is_finite());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod math;
+mod model;
+pub mod models;
+mod loss;
+mod negative;
+mod optim;
+mod params;
+mod persist;
+mod trainer;
+
+pub mod init;
+
+pub use loss::{LossKind, PairLoss};
+pub use model::{KgeModel, ModelKind};
+pub use models::new_model;
+pub use negative::{CorruptSide, NegativeSampler};
+pub use optim::{Optimizer, OptimizerKind};
+pub use params::{Gradients, ParamTable, Parameters, ENTITY_TABLE, RELATION_TABLE};
+pub use persist::{load_model, save_model, save_transe};
+pub use trainer::{train, train_into, TrainConfig, TrainStats};

@@ -1,0 +1,110 @@
+//! Training losses and their derivatives with respect to triple scores.
+
+use crate::math::{sigmoid, softplus};
+use serde::{Deserialize, Serialize};
+
+/// The loss functions supported by the trainer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LossKind {
+    /// Pairwise margin ranking: `max(0, γ − f(pos) + f(neg))`, the TransE
+    /// original.
+    MarginRanking {
+        /// The margin γ.
+        margin: f32,
+    },
+    /// Pointwise binary cross-entropy with logits:
+    /// `softplus(−y · f)` for label `y ∈ {−1, +1}` — the LibKGE default for
+    /// most models.
+    BinaryCrossEntropy,
+}
+
+/// Loss value and score-gradients of one (positive, negative) pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairLoss {
+    /// Loss contribution of the pair.
+    pub value: f32,
+    /// `∂L/∂f(pos)`.
+    pub d_pos: f32,
+    /// `∂L/∂f(neg)`.
+    pub d_neg: f32,
+}
+
+impl LossKind {
+    /// Evaluates the loss and its gradients for a positive score `pos` and a
+    /// negative score `neg`.
+    ///
+    /// For the pointwise BCE the "pair" is an accounting device: the positive
+    /// contributes `softplus(−pos)` and the negative `softplus(neg)`, each
+    /// with its own gradient.
+    pub fn pair(&self, pos: f32, neg: f32) -> PairLoss {
+        match *self {
+            LossKind::MarginRanking { margin } => {
+                let slack = margin - pos + neg;
+                if slack > 0.0 {
+                    PairLoss {
+                        value: slack,
+                        d_pos: -1.0,
+                        d_neg: 1.0,
+                    }
+                } else {
+                    PairLoss {
+                        value: 0.0,
+                        d_pos: 0.0,
+                        d_neg: 0.0,
+                    }
+                }
+            }
+            LossKind::BinaryCrossEntropy => PairLoss {
+                value: softplus(-pos) + softplus(neg),
+                d_pos: -sigmoid(-pos),
+                d_neg: sigmoid(neg),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn margin_is_zero_when_separated() {
+        let l = LossKind::MarginRanking { margin: 1.0 };
+        let p = l.pair(5.0, 1.0);
+        assert_eq!(p.value, 0.0);
+        assert_eq!(p.d_pos, 0.0);
+        assert_eq!(p.d_neg, 0.0);
+    }
+
+    #[test]
+    fn margin_is_active_inside_the_margin() {
+        let l = LossKind::MarginRanking { margin: 1.0 };
+        let p = l.pair(1.0, 0.5);
+        assert!((p.value - 0.5).abs() < 1e-6);
+        assert_eq!(p.d_pos, -1.0);
+        assert_eq!(p.d_neg, 1.0);
+    }
+
+    #[test]
+    fn bce_gradients_match_finite_differences() {
+        let l = LossKind::BinaryCrossEntropy;
+        let eps = 1e-3;
+        for (pos, neg) in [(0.0, 0.0), (2.0, -1.0), (-3.0, 4.0)] {
+            let p = l.pair(pos, neg);
+            let d_pos_num = (l.pair(pos + eps, neg).value - l.pair(pos - eps, neg).value)
+                / (2.0 * eps);
+            let d_neg_num = (l.pair(pos, neg + eps).value - l.pair(pos, neg - eps).value)
+                / (2.0 * eps);
+            assert!((p.d_pos - d_pos_num).abs() < 1e-3, "pos grad at ({pos},{neg})");
+            assert!((p.d_neg - d_neg_num).abs() < 1e-3, "neg grad at ({pos},{neg})");
+        }
+    }
+
+    #[test]
+    fn bce_pushes_scores_apart() {
+        let l = LossKind::BinaryCrossEntropy;
+        let p = l.pair(0.0, 0.0);
+        assert!(p.d_pos < 0.0, "positive score should increase");
+        assert!(p.d_neg > 0.0, "negative score should decrease");
+    }
+}

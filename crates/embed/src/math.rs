@@ -1,0 +1,142 @@
+//! Dense `f32` vector kernels used by every scoring function.
+//!
+//! Kept as free functions over slices so they inline and auto-vectorize; the
+//! Rust Performance Book's guidance on tight loops applies — no bounds checks
+//! survive in release builds thanks to the explicit `zip`s.
+
+/// Dot product `Σ aᵢ bᵢ`.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `out[i] += alpha * x[i]` (axpy).
+#[inline]
+pub fn add_scaled(out: &mut [f32], x: &[f32], alpha: f32) {
+    debug_assert_eq!(out.len(), x.len());
+    for (o, v) in out.iter_mut().zip(x) {
+        *o += alpha * v;
+    }
+}
+
+/// Elementwise product into `out`: `out[i] = a[i] * b[i]`.
+#[inline]
+pub fn hadamard(out: &mut [f32], a: &[f32], b: &[f32]) {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(out.len(), a.len());
+    for ((o, x), y) in out.iter_mut().zip(a).zip(b) {
+        *o = x * y;
+    }
+}
+
+/// Squared L2 norm `Σ aᵢ²`.
+#[inline]
+pub fn norm2_sq(a: &[f32]) -> f32 {
+    a.iter().map(|x| x * x).sum()
+}
+
+/// L2 distance `‖a − b‖₂`.
+#[inline]
+pub fn l2_distance(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f32>()
+        .sqrt()
+}
+
+/// L1 distance `Σ |aᵢ − bᵢ|`.
+#[inline]
+pub fn l1_distance(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+/// Scales `a` to unit L2 norm in place; zero vectors are left unchanged.
+#[inline]
+pub fn normalize_l2(a: &mut [f32]) {
+    let n = norm2_sq(a).sqrt();
+    if n > 0.0 {
+        let inv = 1.0 / n;
+        for v in a {
+            *v *= inv;
+        }
+    }
+}
+
+/// Numerically stable `log(1 + e^x)`.
+#[inline]
+pub fn softplus(x: f32) -> f32 {
+    if x > 20.0 {
+        x
+    } else if x < -20.0 {
+        x.exp()
+    } else {
+        (1.0 + x.exp()).ln()
+    }
+}
+
+/// Logistic sigmoid `1 / (1 + e^{−x})`, saturating stably.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        let e = (-x).exp();
+        1.0 / (1.0 + e)
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_axpy() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        let mut out = vec![1.0, 1.0];
+        add_scaled(&mut out, &[2.0, 3.0], 0.5);
+        assert_eq!(out, vec![2.0, 2.5]);
+    }
+
+    #[test]
+    fn distances() {
+        assert_eq!(l2_distance(&[0.0, 3.0], &[4.0, 0.0]), 5.0);
+        assert_eq!(l1_distance(&[0.0, 3.0], &[4.0, 0.0]), 7.0);
+    }
+
+    #[test]
+    fn hadamard_products() {
+        let mut out = vec![0.0; 3];
+        hadamard(&mut out, &[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]);
+        assert_eq!(out, vec![4.0, 10.0, 18.0]);
+    }
+
+    #[test]
+    fn normalization() {
+        let mut v = vec![3.0, 4.0];
+        normalize_l2(&mut v);
+        assert!((norm2_sq(&v) - 1.0).abs() < 1e-6);
+        let mut z = vec![0.0, 0.0];
+        normalize_l2(&mut z);
+        assert_eq!(z, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn softplus_is_stable_and_accurate() {
+        assert!((softplus(0.0) - std::f32::consts::LN_2).abs() < 1e-6);
+        assert_eq!(softplus(50.0), 50.0);
+        assert!(softplus(-50.0) < 1e-20);
+    }
+
+    #[test]
+    fn sigmoid_matches_identity() {
+        for x in [-5.0f32, -1.0, 0.0, 1.0, 5.0] {
+            assert!((sigmoid(x) + sigmoid(-x) - 1.0).abs() < 1e-6);
+        }
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,175 @@
+//! The scoring-model abstraction: every KGE model of the paper behind one
+//! object-safe trait.
+
+use crate::{Gradients, Parameters};
+use kgfd_kg::{EntityId, RelationId, Triple};
+use serde::{Deserialize, Serialize};
+
+/// The embedding models evaluated by the paper (§2.1 and §4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// Translation-based (Bordes et al. 2013): `f = −d(s + r, o)`.
+    TransE,
+    /// Diagonal bilinear (Yang et al. 2014): `f = sᵀ diag(r) o`.
+    DistMult,
+    /// Complex-valued bilinear (Trouillon et al. 2016): `f = Re(sᵀ diag(r) ō)`.
+    ComplEx,
+    /// Full bilinear (Nickel et al. 2011): `f = sᵀ R o`.
+    Rescal,
+    /// Holographic (Nickel et al. 2016): `f = rᵀ (s ⋆ o)` (circular correlation).
+    HolE,
+    /// Convolutional (Dettmers et al. 2018), the "ConvE-lite" variant of
+    /// DESIGN.md: conv → ReLU → FC → ReLU → dot, trained with reciprocal
+    /// relations as in LibKGE.
+    ConvE,
+    /// Rotation-based (Sun et al. 2019): `f = −‖s ∘ e^{iθ} − o‖`.
+    /// Library extension, not part of the paper's grid.
+    RotatE,
+    /// Head/tail factor pairs (Kazemi & Poole 2018):
+    /// `f = ½(⟨h_s, r, t_o⟩ + ⟨h_o, r⁻¹, t_s⟩)`. Library extension.
+    SimplE,
+    /// Tucker decomposition (Balažević et al. 2019): `f = W ×₁ r ×₂ s ×₃ o`
+    /// with a shared core tensor. Library extension.
+    TuckEr,
+}
+
+impl ModelKind {
+    /// All model kinds: the paper's grid, then HolE (paper §2.1), then the
+    /// library extensions.
+    pub const ALL: [ModelKind; 9] = [
+        ModelKind::ComplEx,
+        ModelKind::ConvE,
+        ModelKind::DistMult,
+        ModelKind::Rescal,
+        ModelKind::TransE,
+        ModelKind::HolE,
+        ModelKind::RotatE,
+        ModelKind::SimplE,
+        ModelKind::TuckEr,
+    ];
+
+    /// The five kinds used in the paper's experimental grid (§4: ComplEx,
+    /// ConvE, DistMult, RESCAL, TransE; HolE is described in §2 but not run).
+    pub const PAPER_GRID: [ModelKind; 5] = [
+        ModelKind::ComplEx,
+        ModelKind::ConvE,
+        ModelKind::DistMult,
+        ModelKind::Rescal,
+        ModelKind::TransE,
+    ];
+
+    /// Short lowercase name (stable, used in reports and persistence).
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::TransE => "transe",
+            ModelKind::DistMult => "distmult",
+            ModelKind::ComplEx => "complex",
+            ModelKind::Rescal => "rescal",
+            ModelKind::HolE => "hole",
+            ModelKind::ConvE => "conve",
+            ModelKind::RotatE => "rotate",
+            ModelKind::SimplE => "simple",
+            ModelKind::TuckEr => "tucker",
+        }
+    }
+
+    /// Parses a name produced by [`ModelKind::name`].
+    pub fn from_name(name: &str) -> Option<ModelKind> {
+        Self::ALL.into_iter().find(|k| k.name() == name)
+    }
+
+    /// Stable numeric tag for binary persistence.
+    pub(crate) fn tag(self) -> u8 {
+        match self {
+            ModelKind::TransE => 0,
+            ModelKind::DistMult => 1,
+            ModelKind::ComplEx => 2,
+            ModelKind::Rescal => 3,
+            ModelKind::HolE => 4,
+            ModelKind::ConvE => 5,
+            ModelKind::RotatE => 6,
+            ModelKind::SimplE => 7,
+            ModelKind::TuckEr => 8,
+        }
+    }
+
+    /// Inverse of [`ModelKind::tag`].
+    pub(crate) fn from_tag(tag: u8) -> Option<ModelKind> {
+        Self::ALL.into_iter().find(|k| k.tag() == tag)
+    }
+}
+
+impl std::fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A trained (or trainable) knowledge-graph embedding model.
+///
+/// Scores are "higher = more plausible". The two batched kernels
+/// ([`score_objects`](KgeModel::score_objects) /
+/// [`score_subjects`](KgeModel::score_subjects)) fill a caller-provided
+/// buffer with the score of every entity substituted into one side — the
+/// primitive both the evaluation protocol and the discovery algorithm's
+/// ranking step are built on.
+pub trait KgeModel: Send + Sync {
+    /// Which scoring function this is.
+    fn kind(&self) -> ModelKind;
+
+    /// Entity count `N`.
+    fn num_entities(&self) -> usize;
+
+    /// Logical relation count `K` (excluding reciprocal shadow relations).
+    fn num_relations(&self) -> usize;
+
+    /// Embedding width `l` of entity vectors.
+    fn dim(&self) -> usize;
+
+    /// The underlying parameter tables.
+    fn params(&self) -> &Parameters;
+
+    /// Mutable parameter tables (used by the optimizer).
+    fn params_mut(&mut self) -> &mut Parameters;
+
+    /// Plausibility score of one triple.
+    fn score(&self, t: Triple) -> f32;
+
+    /// Fills `out[e] = score(s, r, e)` for every entity `e`.
+    /// `out.len()` must be `num_entities()`.
+    fn score_objects(&self, s: EntityId, r: RelationId, out: &mut [f32]);
+
+    /// Fills `out[e] = score(e, r, o)` for every entity `e`.
+    fn score_subjects(&self, r: RelationId, o: EntityId, out: &mut [f32]);
+
+    /// Accumulates `upstream · ∂score(t)/∂θ` into `grads`.
+    fn backward(&self, t: Triple, upstream: f32, grads: &mut Gradients);
+
+    /// `true` if the model is trained with reciprocal relations (the trainer
+    /// then augments each triple `(s, r, o)` with `(o, r + K, s)` and
+    /// corrupts only objects, as LibKGE does for ConvE).
+    fn reciprocal(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for k in ModelKind::ALL {
+            assert_eq!(ModelKind::from_name(k.name()), Some(k));
+            assert_eq!(ModelKind::from_tag(k.tag()), Some(k));
+        }
+        assert_eq!(ModelKind::from_name("nope"), None);
+        assert_eq!(ModelKind::from_tag(200), None);
+    }
+
+    #[test]
+    fn paper_grid_is_five_models() {
+        assert_eq!(ModelKind::PAPER_GRID.len(), 5);
+        assert!(!ModelKind::PAPER_GRID.contains(&ModelKind::HolE));
+    }
+}

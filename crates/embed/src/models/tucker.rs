@@ -1,0 +1,270 @@
+//! TuckER (Balažević et al. 2019): Tucker decomposition of the binary
+//! relation tensor, `f(s, r, o) = W ×₁ r ×₂ s ×₃ o`, i.e.
+//!
+//! ```text
+//! f = Σ_{i,j,k} W[i][j][k] · rᵢ · sⱼ · oₖ
+//! ```
+//!
+//! with a shared core tensor `W ∈ ℝ^{d×d×d}` (we tie the relation and entity
+//! widths). The core lets relations share interaction structure — TuckER
+//! subsumes RESCAL/DistMult/ComplEx as special cases. Library extension,
+//! not in the paper's grid.
+//!
+//! Gradients are the obvious trilinear contractions:
+//! `∂f/∂rᵢ = Σ_{j,k} W[i][j][k] sⱼ oₖ`, and symmetrically for `s`, `o`;
+//! `∂f/∂W[i][j][k] = rᵢ sⱼ oₖ`. Batched kernels contract `W` with the two
+//! fixed vectors into a query vector first (O(d³)), then dot every entity.
+
+use crate::math::dot;
+use crate::{
+    init, Gradients, KgeModel, ModelKind, ParamTable, Parameters, ENTITY_TABLE, RELATION_TABLE,
+};
+use kgfd_kg::{EntityId, RelationId, Triple};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Index of the core-tensor table (a single `d³`-wide row).
+pub const CORE_TABLE: usize = 2;
+
+/// The TuckER model.
+pub struct TuckEr {
+    params: Parameters,
+    num_entities: usize,
+    num_relations: usize,
+    dim: usize,
+}
+
+impl TuckEr {
+    /// Creates a Xavier-initialized TuckER model. Core size is `dim³`, so
+    /// keep `dim` moderate (≤ 64).
+    pub fn new(num_entities: usize, num_relations: usize, dim: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut entities = ParamTable::zeros(num_entities, dim);
+        let mut relations = ParamTable::zeros(num_relations, dim);
+        let mut core = ParamTable::zeros(1, dim * dim * dim);
+        init::xavier_uniform(&mut entities, &mut rng);
+        init::xavier_uniform(&mut relations, &mut rng);
+        // The core contracts three vectors; a tighter init keeps early
+        // scores at a trainable magnitude.
+        init::uniform(&mut core, &mut rng, 1.0 / dim as f32);
+        TuckEr {
+            params: Parameters::new(vec![entities, relations, core]),
+            num_entities,
+            num_relations,
+            dim,
+        }
+    }
+
+    #[inline]
+    fn entity(&self, e: EntityId) -> &[f32] {
+        self.params.table(ENTITY_TABLE).row(e.index())
+    }
+
+    #[inline]
+    fn relation(&self, r: RelationId) -> &[f32] {
+        self.params.table(RELATION_TABLE).row(r.index())
+    }
+
+    #[inline]
+    fn core(&self) -> &[f32] {
+        self.params.table(CORE_TABLE).row(0)
+    }
+
+    /// `out[k] = Σ_{i,j} W[i][j][k] rᵢ sⱼ` — the object-side query.
+    fn contract_rs(&self, r: &[f32], s: &[f32], out: &mut [f32]) {
+        let d = self.dim;
+        let w = self.core();
+        out.fill(0.0);
+        for (i, &ri) in r.iter().enumerate() {
+            if ri == 0.0 {
+                continue;
+            }
+            for (j, &sj) in s.iter().enumerate() {
+                let c = ri * sj;
+                let base = (i * d + j) * d;
+                crate::math::add_scaled(out, &w[base..base + d], c);
+            }
+        }
+    }
+
+    /// `out[j] = Σ_{i,k} W[i][j][k] rᵢ oₖ` — the subject-side query.
+    fn contract_ro(&self, r: &[f32], o: &[f32], out: &mut [f32]) {
+        let d = self.dim;
+        let w = self.core();
+        for (j, slot) in out.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for (i, &ri) in r.iter().enumerate() {
+                if ri == 0.0 {
+                    continue;
+                }
+                let base = (i * d + j) * d;
+                acc += ri * dot(&w[base..base + d], o);
+            }
+            *slot = acc;
+        }
+    }
+
+    /// `out[i] = Σ_{j,k} W[i][j][k] sⱼ oₖ` — the relation gradient.
+    fn contract_so(&self, s: &[f32], o: &[f32], out: &mut [f32]) {
+        let d = self.dim;
+        let w = self.core();
+        for (i, slot) in out.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for (j, &sj) in s.iter().enumerate() {
+                if sj == 0.0 {
+                    continue;
+                }
+                let base = (i * d + j) * d;
+                acc += sj * dot(&w[base..base + d], o);
+            }
+            *slot = acc;
+        }
+    }
+
+    fn dot_all_entities(&self, query: &[f32], out: &mut [f32]) {
+        for (e, slot) in out.iter_mut().enumerate() {
+            *slot = dot(query, self.entity(EntityId(e as u32)));
+        }
+    }
+}
+
+impl KgeModel for TuckEr {
+    fn kind(&self) -> ModelKind {
+        ModelKind::TuckEr
+    }
+
+    fn num_entities(&self) -> usize {
+        self.num_entities
+    }
+
+    fn num_relations(&self) -> usize {
+        self.num_relations
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn params(&self) -> &Parameters {
+        &self.params
+    }
+
+    fn params_mut(&mut self) -> &mut Parameters {
+        &mut self.params
+    }
+
+    fn score(&self, t: Triple) -> f32 {
+        let mut query = vec![0.0; self.dim];
+        self.contract_rs(self.relation(t.relation), self.entity(t.subject), &mut query);
+        dot(&query, self.entity(t.object))
+    }
+
+    fn score_objects(&self, s: EntityId, r: RelationId, out: &mut [f32]) {
+        debug_assert_eq!(out.len(), self.num_entities);
+        let mut query = vec![0.0; self.dim];
+        self.contract_rs(self.relation(r), self.entity(s), &mut query);
+        self.dot_all_entities(&query, out);
+    }
+
+    fn score_subjects(&self, r: RelationId, o: EntityId, out: &mut [f32]) {
+        debug_assert_eq!(out.len(), self.num_entities);
+        let mut query = vec![0.0; self.dim];
+        self.contract_ro(self.relation(r), self.entity(o), &mut query);
+        self.dot_all_entities(&query, out);
+    }
+
+    fn backward(&self, t: Triple, upstream: f32, grads: &mut Gradients) {
+        let d = self.dim;
+        let s = self.entity(t.subject);
+        let r = self.relation(t.relation);
+        let o = self.entity(t.object);
+
+        let mut buf = vec![0.0; d];
+        self.contract_ro(r, o, &mut buf); // ∂f/∂s
+        grads.add(ENTITY_TABLE, t.subject.index(), &buf, upstream);
+        self.contract_so(s, o, &mut buf); // ∂f/∂r
+        grads.add(RELATION_TABLE, t.relation.index(), &buf, upstream);
+        self.contract_rs(r, s, &mut buf); // ∂f/∂o
+        grads.add(ENTITY_TABLE, t.object.index(), &buf, upstream);
+
+        // ∂f/∂W[i][j][k] = rᵢ sⱼ oₖ.
+        let slot = grads.slot(CORE_TABLE, 0, d * d * d);
+        for (i, &ri) in r.iter().enumerate() {
+            if ri == 0.0 {
+                continue;
+            }
+            for (j, &sj) in s.iter().enumerate() {
+                let c = upstream * ri * sj;
+                if c == 0.0 {
+                    continue;
+                }
+                let base = (i * d + j) * d;
+                crate::math::add_scaled(&mut slot[base..base + d], o, c);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // index-vs-score comparisons read better indexed
+mod tests {
+    use super::*;
+    use crate::models::gradcheck::check_gradients;
+
+    #[test]
+    fn identity_like_core_reduces_to_distmult() {
+        // W[i][j][k] = 1 iff i == j == k reduces f to Σ rᵢ sᵢ oᵢ.
+        let d = 3;
+        let mut m = TuckEr::new(2, 1, d, 0);
+        let core = m.params_mut().table_mut(CORE_TABLE).row_mut(0);
+        core.fill(0.0);
+        for i in 0..d {
+            core[(i * d + i) * d + i] = 1.0;
+        }
+        m.params_mut()
+            .table_mut(ENTITY_TABLE)
+            .row_mut(0)
+            .copy_from_slice(&[1.0, 2.0, 3.0]);
+        m.params_mut()
+            .table_mut(ENTITY_TABLE)
+            .row_mut(1)
+            .copy_from_slice(&[4.0, 5.0, 6.0]);
+        m.params_mut()
+            .table_mut(RELATION_TABLE)
+            .row_mut(0)
+            .copy_from_slice(&[1.0, 0.0, -1.0]);
+        // Σ rᵢ sᵢ oᵢ = 1·1·4 + 0 + (−1)·3·6 = −14.
+        assert!((m.score(Triple::new(0u32, 0u32, 1u32)) + 14.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn batched_kernels_match_pointwise_scores() {
+        let m = TuckEr::new(5, 2, 4, 7);
+        let mut out = vec![0.0; 5];
+        m.score_objects(EntityId(1), RelationId(0), &mut out);
+        for e in 0..5 {
+            assert!((out[e] - m.score(Triple::new(1u32, 0u32, e as u32))).abs() < 1e-4);
+        }
+        m.score_subjects(RelationId(1), EntityId(3), &mut out);
+        for e in 0..5 {
+            assert!((out[e] - m.score(Triple::new(e as u32, 1u32, 3u32))).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn gradients_pass_finite_difference_check() {
+        let mut m = TuckEr::new(4, 2, 4, 11);
+        check_gradients(&mut m, Triple::new(0u32, 1u32, 2u32), 2e-2);
+        check_gradients(&mut m, Triple::new(3u32, 0u32, 3u32), 2e-2);
+    }
+
+    #[test]
+    fn core_gradient_covers_all_cells() {
+        let m = TuckEr::new(3, 1, 3, 5);
+        let mut g = Gradients::new();
+        m.backward(Triple::new(0u32, 0u32, 1u32), 1.0, &mut g);
+        let core_grad = g.get(CORE_TABLE, 0).expect("core touched");
+        assert_eq!(core_grad.len(), 27);
+        assert!(core_grad.iter().any(|&v| v != 0.0));
+    }
+}

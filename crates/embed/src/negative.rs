@@ -1,0 +1,142 @@
+//! Negative sampling: corrupting one side of a positive triple with a random
+//! entity, optionally filtered against known-true triples.
+
+use kgfd_kg::{EntityId, Side, Triple, TripleStore};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Which side(s) of a triple to corrupt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptSide {
+    /// Always replace the subject.
+    Subject,
+    /// Always replace the object.
+    Object,
+    /// Flip a fair coin per sample (the Bordes et al. protocol).
+    Both,
+}
+
+/// A seeded negative sampler over a fixed entity range.
+pub struct NegativeSampler {
+    num_entities: usize,
+    /// Retry budget when filtering accidentally-true negatives.
+    max_retries: usize,
+}
+
+impl NegativeSampler {
+    /// Creates a sampler over entities `0..num_entities`.
+    pub fn new(num_entities: usize) -> Self {
+        NegativeSampler {
+            num_entities,
+            max_retries: 10,
+        }
+    }
+
+    /// Corrupts `t` on the configured side. If `filter` is given, re-samples
+    /// (up to a bounded number of retries) when the corruption is a known
+    /// true triple — the "filtered" negative sampling setting.
+    pub fn corrupt(
+        &self,
+        t: Triple,
+        side: CorruptSide,
+        filter: Option<&TripleStore>,
+        rng: &mut StdRng,
+    ) -> Triple {
+        let side = match side {
+            CorruptSide::Subject => Side::Subject,
+            CorruptSide::Object => Side::Object,
+            CorruptSide::Both => {
+                if rng.random::<bool>() {
+                    Side::Subject
+                } else {
+                    Side::Object
+                }
+            }
+        };
+        let mut candidate = self.replace(t, side, rng);
+        if let Some(store) = filter {
+            let mut retries = 0;
+            while store.contains(&candidate) && retries < self.max_retries {
+                candidate = self.replace(t, side, rng);
+                retries += 1;
+            }
+        }
+        candidate
+    }
+
+    fn replace(&self, t: Triple, side: Side, rng: &mut StdRng) -> Triple {
+        let e = EntityId(rng.random_range(0..self.num_entities as u32));
+        match side {
+            Side::Subject => t.with_subject(e),
+            Side::Object => t.with_object(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn corrupt_changes_exactly_one_side() {
+        let sampler = NegativeSampler::new(100);
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = Triple::new(5u32, 2u32, 9u32);
+        for _ in 0..50 {
+            let c = sampler.corrupt(t, CorruptSide::Object, None, &mut rng);
+            assert_eq!(c.subject, t.subject);
+            assert_eq!(c.relation, t.relation);
+            let c = sampler.corrupt(t, CorruptSide::Subject, None, &mut rng);
+            assert_eq!(c.object, t.object);
+            assert_eq!(c.relation, t.relation);
+        }
+    }
+
+    #[test]
+    fn both_mode_corrupts_each_side_sometimes() {
+        let sampler = NegativeSampler::new(1000);
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = Triple::new(5u32, 0u32, 9u32);
+        let mut subj = 0;
+        let mut obj = 0;
+        for _ in 0..200 {
+            let c = sampler.corrupt(t, CorruptSide::Both, None, &mut rng);
+            if c.subject != t.subject {
+                subj += 1;
+            } else if c.object != t.object {
+                obj += 1;
+            }
+        }
+        assert!(subj > 40, "subject corrupted {subj} times");
+        assert!(obj > 40, "object corrupted {obj} times");
+    }
+
+    #[test]
+    fn filtering_avoids_known_true_triples() {
+        // Dense tiny graph: (0, 0, o) true for o in {1, 2, 3}; entity space
+        // {0..=4} leaves {0, 4} as valid corruptions.
+        let store = TripleStore::new(
+            5,
+            1,
+            vec![
+                Triple::new(0u32, 0u32, 1u32),
+                Triple::new(0u32, 0u32, 2u32),
+                Triple::new(0u32, 0u32, 3u32),
+            ],
+        )
+        .unwrap();
+        let sampler = NegativeSampler::new(5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = Triple::new(0u32, 0u32, 1u32);
+        let mut hits = 0;
+        for _ in 0..100 {
+            let c = sampler.corrupt(t, CorruptSide::Object, Some(&store), &mut rng);
+            if store.contains(&c) {
+                hits += 1;
+            }
+        }
+        // The retry budget makes accidental hits rare, not impossible.
+        assert!(hits < 5, "filtered sampler produced {hits} true negatives");
+    }
+}

@@ -1,0 +1,200 @@
+//! Optimizers with sparse (touched-rows-only) state updates.
+//!
+//! The paper trains every model with Adam (§2.1 "Training"); SGD and Adagrad
+//! are provided for completeness and ablation. State tensors mirror the
+//! parameter tables; only the rows present in a batch's [`Gradients`] are
+//! updated, which is the standard "sparse Adam" arrangement for embeddings.
+
+use crate::{Gradients, ParamTable, Parameters};
+use serde::{Deserialize, Serialize};
+
+/// Optimizer configuration; build a stateful optimizer with
+/// [`OptimizerKind::build`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum OptimizerKind {
+    /// Plain stochastic gradient descent.
+    Sgd {
+        /// Learning rate.
+        lr: f32,
+    },
+    /// Adagrad (Duchi et al. 2011).
+    Adagrad {
+        /// Learning rate.
+        lr: f32,
+    },
+    /// Adam (Kingma & Ba 2014) — the paper's optimizer.
+    Adam {
+        /// Learning rate.
+        lr: f32,
+    },
+}
+
+impl OptimizerKind {
+    /// Instantiates optimizer state shaped like `params`.
+    pub fn build(self, params: &Parameters) -> Box<dyn Optimizer> {
+        match self {
+            OptimizerKind::Sgd { lr } => Box::new(Sgd { lr }),
+            OptimizerKind::Adagrad { lr } => Box::new(Adagrad {
+                lr,
+                eps: 1e-10,
+                accum: mirror(params),
+            }),
+            OptimizerKind::Adam { lr } => Box::new(Adam {
+                lr,
+                beta1: 0.9,
+                beta2: 0.999,
+                eps: 1e-8,
+                t: 0,
+                m: mirror(params),
+                v: mirror(params),
+            }),
+        }
+    }
+
+    /// The configured learning rate.
+    pub fn learning_rate(self) -> f32 {
+        match self {
+            OptimizerKind::Sgd { lr }
+            | OptimizerKind::Adagrad { lr }
+            | OptimizerKind::Adam { lr } => lr,
+        }
+    }
+}
+
+fn mirror(params: &Parameters) -> Vec<ParamTable> {
+    params
+        .tables()
+        .iter()
+        .map(|t| ParamTable::zeros(t.rows(), t.cols()))
+        .collect()
+}
+
+/// A stateful first-order optimizer; gradients are of the *loss* (descent
+/// direction is `−grad`).
+pub trait Optimizer: Send {
+    /// Applies one update for the accumulated batch gradients.
+    fn step(&mut self, params: &mut Parameters, grads: &Gradients);
+}
+
+struct Sgd {
+    lr: f32,
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut Parameters, grads: &Gradients) {
+        for (table, row, g) in grads.iter() {
+            let row = params.table_mut(table).row_mut(row);
+            crate::math::add_scaled(row, g, -self.lr);
+        }
+    }
+}
+
+struct Adagrad {
+    lr: f32,
+    eps: f32,
+    accum: Vec<ParamTable>,
+}
+
+impl Optimizer for Adagrad {
+    fn step(&mut self, params: &mut Parameters, grads: &Gradients) {
+        for (table, row, g) in grads.iter() {
+            let acc = self.accum[table].row_mut(row);
+            let p = params.table_mut(table).row_mut(row);
+            for ((pi, ai), &gi) in p.iter_mut().zip(acc.iter_mut()).zip(g) {
+                *ai += gi * gi;
+                *pi -= self.lr * gi / (ai.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<ParamTable>,
+    v: Vec<ParamTable>,
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut Parameters, grads: &Gradients) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (table, row, g) in grads.iter() {
+            let m = self.m[table].row_mut(row);
+            let v = self.v[table].row_mut(row);
+            let p = params.table_mut(table).row_mut(row);
+            for (((pi, mi), vi), &gi) in p.iter_mut().zip(m.iter_mut()).zip(v.iter_mut()).zip(g) {
+                *mi = self.beta1 * *mi + (1.0 - self.beta1) * gi;
+                *vi = self.beta2 * *vi + (1.0 - self.beta2) * gi * gi;
+                let m_hat = *mi / bc1;
+                let v_hat = *vi / bc2;
+                *pi -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_params() -> Parameters {
+        // One table, one row: minimize f(x) = Σ xᵢ² from x = (4, −2).
+        Parameters::new(vec![ParamTable::from_data(1, 2, vec![4.0, -2.0])])
+    }
+
+    fn run(kind: OptimizerKind, steps: usize) -> Vec<f32> {
+        let mut params = quadratic_params();
+        let mut opt = kind.build(&params);
+        for _ in 0..steps {
+            let mut g = Gradients::new();
+            let x = params.table(0).row(0).to_vec();
+            // ∇f = 2x
+            g.add(0, 0, &[2.0 * x[0], 2.0 * x[1]], 1.0);
+            opt.step(&mut params, &g);
+        }
+        params.table(0).row(0).to_vec()
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let x = run(OptimizerKind::Sgd { lr: 0.1 }, 100);
+        assert!(x.iter().all(|v| v.abs() < 1e-3), "{x:?}");
+    }
+
+    #[test]
+    fn adagrad_converges_on_quadratic() {
+        let x = run(OptimizerKind::Adagrad { lr: 0.5 }, 500);
+        assert!(x.iter().all(|v| v.abs() < 1e-2), "{x:?}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let x = run(OptimizerKind::Adam { lr: 0.1 }, 500);
+        assert!(x.iter().all(|v| v.abs() < 1e-2), "{x:?}");
+    }
+
+    #[test]
+    fn untouched_rows_are_untouched() {
+        let mut params = Parameters::new(vec![ParamTable::from_data(
+            2,
+            2,
+            vec![1.0, 1.0, 5.0, 5.0],
+        )]);
+        let mut opt = OptimizerKind::Adam { lr: 0.1 }.build(&params);
+        let mut g = Gradients::new();
+        g.add(0, 0, &[1.0, 1.0], 1.0);
+        opt.step(&mut params, &g);
+        assert_eq!(params.table(0).row(1), &[5.0, 5.0]);
+        assert_ne!(params.table(0).row(0), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn learning_rate_accessor() {
+        assert_eq!(OptimizerKind::Adam { lr: 0.02 }.learning_rate(), 0.02);
+    }
+}

@@ -1,0 +1,175 @@
+//! Triple classification: label triples true/false by thresholding scores
+//! (paper §2.1 — "by setting a threshold on the probability, one can
+//! determine whether a triple is true or not and label it by {−1, 1}").
+//!
+//! Thresholds are tuned per relation on a validation set of positives plus
+//! sampled corruptions, then applied to held-out data — the Socher et al.
+//! protocol adopted by the KGE literature.
+
+use kgfd_embed::{CorruptSide, KgeModel, NegativeSampler};
+use kgfd_kg::{RelationId, Triple, TripleStore};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Per-relation score thresholds learned from validation data.
+#[derive(Debug, Clone)]
+pub struct Thresholds {
+    by_relation: HashMap<RelationId, f32>,
+    global: f32,
+}
+
+impl Thresholds {
+    /// Tunes thresholds: for each relation, picks the score cut maximizing
+    /// accuracy over `positives` and an equal number of sampled corruptions.
+    pub fn tune(
+        model: &dyn KgeModel,
+        positives: &[Triple],
+        filter: &TripleStore,
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sampler = NegativeSampler::new(model.num_entities());
+        let mut by_rel: HashMap<RelationId, Vec<(f32, bool)>> = HashMap::new();
+        let mut all: Vec<(f32, bool)> = Vec::with_capacity(positives.len() * 2);
+        for &t in positives {
+            let neg = sampler.corrupt(t, CorruptSide::Both, Some(filter), &mut rng);
+            let fp = model.score(t);
+            let fn_ = model.score(neg);
+            by_rel.entry(t.relation).or_default().push((fp, true));
+            by_rel.entry(t.relation).or_default().push((fn_, false));
+            all.push((fp, true));
+            all.push((fn_, false));
+        }
+        let global = best_threshold(&mut all);
+        let by_relation = by_rel
+            .into_iter()
+            .map(|(r, mut scored)| (r, best_threshold(&mut scored)))
+            .collect();
+        Thresholds {
+            by_relation,
+            global,
+        }
+    }
+
+    /// The threshold for `r` (falling back to the global one for relations
+    /// unseen during tuning).
+    pub fn for_relation(&self, r: RelationId) -> f32 {
+        self.by_relation.get(&r).copied().unwrap_or(self.global)
+    }
+
+    /// Classifies one triple.
+    pub fn classify(&self, model: &dyn KgeModel, t: Triple) -> bool {
+        model.score(t) >= self.for_relation(t.relation)
+    }
+
+    /// Accuracy over labelled triples.
+    pub fn accuracy(&self, model: &dyn KgeModel, labelled: &[(Triple, bool)]) -> f64 {
+        if labelled.is_empty() {
+            return 0.0;
+        }
+        let correct = labelled
+            .iter()
+            .filter(|&&(t, label)| self.classify(model, t) == label)
+            .count();
+        correct as f64 / labelled.len() as f64
+    }
+}
+
+/// Midpoint threshold maximizing accuracy over `(score, is_positive)` pairs.
+fn best_threshold(scored: &mut [(f32, bool)]) -> f32 {
+    if scored.is_empty() {
+        return 0.0;
+    }
+    scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    let total_pos = scored.iter().filter(|(_, p)| *p).count();
+    // Threshold below everything classifies all as positive.
+    let mut best_correct = total_pos;
+    let mut best_t = scored[0].0 - 1.0;
+    let mut neg_below = 0usize;
+    let mut pos_below = 0usize;
+    for i in 0..scored.len() {
+        if scored[i].1 {
+            pos_below += 1;
+        } else {
+            neg_below += 1;
+        }
+        // Candidate threshold just above scored[i].
+        let correct = neg_below + (total_pos - pos_below);
+        if correct > best_correct {
+            best_correct = correct;
+            best_t = if i + 1 < scored.len() {
+                0.5 * (scored[i].0 + scored[i + 1].0)
+            } else {
+                scored[i].0 + 1.0
+            };
+        }
+    }
+    best_t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgfd_datasets::toy_biomedical;
+    use kgfd_embed::{train, ModelKind, TrainConfig};
+
+    #[test]
+    fn best_threshold_separates_cleanly_separable_data() {
+        let mut scored = vec![(0.1, false), (0.2, false), (0.8, true), (0.9, true)];
+        let t = best_threshold(&mut scored);
+        assert!(t > 0.2 && t < 0.8, "threshold {t} should split the gap");
+    }
+
+    #[test]
+    fn best_threshold_handles_all_positive() {
+        let mut scored = vec![(0.5, true), (0.6, true)];
+        let t = best_threshold(&mut scored);
+        assert!(t <= 0.5);
+    }
+
+    #[test]
+    fn classification_beats_chance_on_toy_graph() {
+        let data = toy_biomedical();
+        let config = TrainConfig {
+            dim: 16,
+            epochs: 50,
+            seed: 3,
+            ..TrainConfig::default()
+        };
+        let (model, _) = train(ModelKind::ComplEx, &data.train, &config);
+        let thresholds = Thresholds::tune(model.as_ref(), data.train.triples(), &data.train, 9);
+
+        // Labelled evaluation set: train positives + one corruption each.
+        let mut rng = StdRng::seed_from_u64(17);
+        let sampler = NegativeSampler::new(data.train.num_entities());
+        let labelled: Vec<(Triple, bool)> = data
+            .train
+            .triples()
+            .iter()
+            .flat_map(|&t| {
+                let neg = sampler.corrupt(t, CorruptSide::Both, Some(&data.train), &mut rng);
+                [(t, true), (neg, false)]
+            })
+            .collect();
+        let acc = thresholds.accuracy(model.as_ref(), &labelled);
+        assert!(acc > 0.7, "accuracy {acc} should beat chance clearly");
+    }
+
+    #[test]
+    fn unseen_relation_falls_back_to_global() {
+        let data = toy_biomedical();
+        let (model, _) = train(
+            ModelKind::DistMult,
+            &data.train,
+            &TrainConfig {
+                epochs: 2,
+                ..TrainConfig::default()
+            },
+        );
+        let thresholds = Thresholds::tune(model.as_ref(), &data.train.triples()[..4], &data.train, 1);
+        // RelationId(99) was never tuned.
+        let t = thresholds.for_relation(RelationId(99));
+        assert!(t.is_finite());
+    }
+}

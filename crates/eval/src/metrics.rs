@@ -1,0 +1,117 @@
+//! Aggregate ranking metrics: MRR (paper Eq. 7), Hits@k, mean rank.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean reciprocal rank: `(1/|Q|) Σ 1/rankᵢ` (paper Eq. 7).
+/// Returns 0 for an empty set (no facts discovered → no quality signal).
+pub fn mrr(ranks: &[f64]) -> f64 {
+    if ranks.is_empty() {
+        return 0.0;
+    }
+    ranks.iter().map(|r| 1.0 / r).sum::<f64>() / ranks.len() as f64
+}
+
+/// Fraction of ranks ≤ k.
+pub fn hits_at(ranks: &[f64], k: usize) -> f64 {
+    if ranks.is_empty() {
+        return 0.0;
+    }
+    ranks.iter().filter(|&&r| r <= k as f64).count() as f64 / ranks.len() as f64
+}
+
+/// Arithmetic mean rank (less robust to outliers than MRR — the reason the
+/// paper favors MRR, §3.3).
+pub fn mean_rank(ranks: &[f64]) -> f64 {
+    if ranks.is_empty() {
+        return 0.0;
+    }
+    ranks.iter().sum::<f64>() / ranks.len() as f64
+}
+
+/// The standard bundle of link-prediction metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RankingSummary {
+    /// Mean reciprocal rank over both corruption sides.
+    pub mrr: f64,
+    /// Hits@1.
+    pub hits1: f64,
+    /// Hits@3.
+    pub hits3: f64,
+    /// Hits@10.
+    pub hits10: f64,
+    /// Mean rank.
+    pub mean_rank: f64,
+    /// Number of (triple, side) rank observations aggregated.
+    pub count: usize,
+}
+
+impl RankingSummary {
+    /// Aggregates a flat list of side ranks.
+    pub fn from_ranks(ranks: &[f64]) -> Self {
+        RankingSummary {
+            mrr: mrr(ranks),
+            hits1: hits_at(ranks, 1),
+            hits3: hits_at(ranks, 3),
+            hits10: hits_at(ranks, 10),
+            mean_rank: mean_rank(ranks),
+            count: ranks.len(),
+        }
+    }
+}
+
+impl std::fmt::Display for RankingSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "MRR {:.4}  H@1 {:.3}  H@3 {:.3}  H@10 {:.3}  MR {:.1}  (n={})",
+            self.mrr, self.hits1, self.hits3, self.hits10, self.mean_rank, self.count
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mrr_matches_hand_computation() {
+        // (1/1 + 1/2 + 1/4) / 3 = 7/12
+        assert!((mrr(&[1.0, 2.0, 4.0]) - 7.0 / 12.0).abs() < 1e-12);
+        assert_eq!(mrr(&[]), 0.0);
+    }
+
+    #[test]
+    fn paper_top_n_threshold_arithmetic() {
+        // §4.2.2: top_n = 500 sets a theoretical MRR floor of 0.002 when
+        // every discovered fact ranks exactly 500.
+        let ranks = vec![500.0; 10];
+        assert!((mrr(&ranks) - 0.002).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hits_at_k_counts_inclusively() {
+        let ranks = [1.0, 3.0, 10.0, 11.0];
+        assert_eq!(hits_at(&ranks, 1), 0.25);
+        assert_eq!(hits_at(&ranks, 3), 0.5);
+        assert_eq!(hits_at(&ranks, 10), 0.75);
+        assert_eq!(hits_at(&[], 10), 0.0);
+    }
+
+    #[test]
+    fn mean_rank_is_outlier_sensitive() {
+        // The paper's point: one outlier swings MR but barely moves MRR.
+        let clean = [1.0, 1.0, 1.0];
+        let outlier = [1.0, 1.0, 1000.0];
+        assert!(mean_rank(&outlier) / mean_rank(&clean) > 100.0);
+        assert!(mrr(&clean) / mrr(&outlier) < 1.6);
+    }
+
+    #[test]
+    fn summary_bundles_everything() {
+        let s = RankingSummary::from_ranks(&[1.0, 2.0, 20.0]);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.hits1, 1.0 / 3.0);
+        assert!(s.mrr > 0.5);
+        assert!(s.to_string().contains("MRR"));
+    }
+}

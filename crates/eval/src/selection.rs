@@ -1,0 +1,241 @@
+//! Model selection: validation-driven early stopping and grid search —
+//! the "Model Training" step of the paper's workflow (§3.2), where each
+//! dataset × embedding pair is tuned "for instance through grid search"
+//! (LibKGE's grid-search syntax is called out in §4.1.1 as a selection
+//! reason).
+
+use crate::evaluate_ranking;
+use kgfd_embed::{
+    new_model, train_into, KgeModel, LossKind, ModelKind, OptimizerKind, TrainConfig,
+};
+use kgfd_kg::{KnownTriples, Triple, TripleStore};
+use serde::{Deserialize, Serialize};
+
+/// Early-stopping policy on validation MRR.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct EarlyStopping {
+    /// Evaluate every this many epochs.
+    pub check_every: usize,
+    /// Stop after this many consecutive non-improving checks.
+    pub patience: usize,
+    /// Minimum MRR improvement that counts as progress.
+    pub min_delta: f64,
+}
+
+impl Default for EarlyStopping {
+    fn default() -> Self {
+        EarlyStopping {
+            check_every: 5,
+            patience: 2,
+            min_delta: 1e-4,
+        }
+    }
+}
+
+/// Outcome of a validation-monitored training run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SelectionStats {
+    /// Validation MRR at each checkpoint.
+    pub checkpoints: Vec<f64>,
+    /// Best validation MRR seen (the returned model's parameters).
+    pub best_mrr: f64,
+    /// Total epochs actually trained.
+    pub epochs_trained: usize,
+}
+
+/// Trains with early stopping on validation MRR. The returned model carries
+/// the parameters of the *best* checkpoint, not the last one.
+pub fn train_with_early_stopping(
+    kind: ModelKind,
+    store: &TripleStore,
+    valid: &[Triple],
+    config: &TrainConfig,
+    stopping: EarlyStopping,
+) -> (Box<dyn KgeModel>, SelectionStats) {
+    assert!(stopping.check_every > 0, "check_every must be positive");
+    let mut model = new_model(
+        kind,
+        store.num_entities(),
+        store.num_relations(),
+        config.dim,
+        config.seed,
+    );
+    let known = KnownTriples::from_slices([store.triples(), valid]);
+
+    let mut best_params = model.params().clone();
+    let mut best_mrr = f64::NEG_INFINITY;
+    let mut checkpoints = Vec::new();
+    let mut bad_checks = 0usize;
+    let mut epochs_trained = 0usize;
+
+    // Train in check_every-epoch slices, continuing from the same state.
+    // Optimizer state restarts per slice; with Adam's per-slice bias
+    // correction this behaves like a mild warm restart and keeps the
+    // training path deterministic.
+    let mut slice_config = config.clone();
+    slice_config.epochs = stopping.check_every;
+    while epochs_trained < config.epochs {
+        let remaining = config.epochs - epochs_trained;
+        slice_config.epochs = stopping.check_every.min(remaining);
+        slice_config.seed = config.seed.wrapping_add(epochs_trained as u64);
+        train_into(model.as_mut(), store, &slice_config);
+        epochs_trained += slice_config.epochs;
+
+        let mrr = evaluate_ranking(model.as_ref(), valid, Some(&known), 2).mrr;
+        checkpoints.push(mrr);
+        if mrr > best_mrr + stopping.min_delta {
+            best_mrr = mrr;
+            best_params = model.params().clone();
+            bad_checks = 0;
+        } else {
+            bad_checks += 1;
+            if bad_checks >= stopping.patience {
+                break;
+            }
+        }
+    }
+    *model.params_mut() = best_params;
+    (
+        model,
+        SelectionStats {
+            checkpoints,
+            best_mrr: if best_mrr.is_finite() { best_mrr } else { 0.0 },
+            epochs_trained,
+        },
+    )
+}
+
+/// A hyperparameter grid for [`grid_search`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SearchSpace {
+    /// Embedding widths to try.
+    pub dims: Vec<usize>,
+    /// Learning rates to try (Adam).
+    pub learning_rates: Vec<f32>,
+    /// Loss functions to try.
+    pub losses: Vec<LossKind>,
+}
+
+impl Default for SearchSpace {
+    fn default() -> Self {
+        SearchSpace {
+            dims: vec![16, 32],
+            learning_rates: vec![0.003, 0.01, 0.03],
+            losses: vec![
+                LossKind::MarginRanking { margin: 1.0 },
+                LossKind::BinaryCrossEntropy,
+            ],
+        }
+    }
+}
+
+/// One evaluated grid point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SearchResult {
+    /// The configuration evaluated.
+    pub config: TrainConfig,
+    /// Its validation MRR.
+    pub valid_mrr: f64,
+}
+
+/// Exhaustive grid search over `space`, selecting by validation MRR.
+/// Returns all evaluated points sorted best-first.
+pub fn grid_search(
+    kind: ModelKind,
+    store: &TripleStore,
+    valid: &[Triple],
+    base: &TrainConfig,
+    space: &SearchSpace,
+) -> Vec<SearchResult> {
+    let known = KnownTriples::from_slices([store.triples(), valid]);
+    let mut results = Vec::new();
+    for &dim in &space.dims {
+        for &lr in &space.learning_rates {
+            for &loss in &space.losses {
+                let config = TrainConfig {
+                    dim,
+                    optimizer: OptimizerKind::Adam { lr },
+                    loss,
+                    ..base.clone()
+                };
+                let (model, _) = kgfd_embed::train(kind, store, &config);
+                let valid_mrr = evaluate_ranking(model.as_ref(), valid, Some(&known), 2).mrr;
+                results.push(SearchResult { config, valid_mrr });
+            }
+        }
+    }
+    results.sort_by(|a, b| b.valid_mrr.total_cmp(&a.valid_mrr));
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgfd_datasets::toy_biomedical;
+
+    #[test]
+    fn early_stopping_returns_best_checkpoint() {
+        let data = toy_biomedical();
+        let config = TrainConfig {
+            dim: 16,
+            epochs: 30,
+            seed: 3,
+            ..TrainConfig::default()
+        };
+        let stopping = EarlyStopping {
+            check_every: 5,
+            patience: 2,
+            min_delta: 1e-4,
+        };
+        let (model, stats) =
+            train_with_early_stopping(ModelKind::DistMult, &data.train, &data.valid, &config, stopping);
+        assert!(!stats.checkpoints.is_empty());
+        assert!(stats.epochs_trained <= 30);
+        assert!(stats.best_mrr >= stats.checkpoints[0] - 1e-9);
+        // Returned model reproduces the best checkpoint's MRR.
+        let known = KnownTriples::from_slices([data.train.triples(), &data.valid[..]]);
+        let mrr = evaluate_ranking(model.as_ref(), &data.valid, Some(&known), 2).mrr;
+        assert!((mrr - stats.best_mrr).abs() < 1e-9);
+    }
+
+    #[test]
+    fn early_stopping_halts_on_plateau() {
+        let data = toy_biomedical();
+        let config = TrainConfig {
+            dim: 8,
+            epochs: 1000, // would take long without stopping
+            seed: 1,
+            ..TrainConfig::default()
+        };
+        let stopping = EarlyStopping {
+            check_every: 2,
+            patience: 1,
+            min_delta: 0.5, // nothing counts as progress
+        };
+        let (_, stats) =
+            train_with_early_stopping(ModelKind::TransE, &data.train, &data.valid, &config, stopping);
+        assert!(
+            stats.epochs_trained <= 4,
+            "plateau must stop training early, got {}",
+            stats.epochs_trained
+        );
+    }
+
+    #[test]
+    fn grid_search_ranks_configurations() {
+        let data = toy_biomedical();
+        let base = TrainConfig {
+            epochs: 8,
+            seed: 2,
+            ..TrainConfig::default()
+        };
+        let space = SearchSpace {
+            dims: vec![8, 16],
+            learning_rates: vec![0.01],
+            losses: vec![LossKind::BinaryCrossEntropy],
+        };
+        let results = grid_search(ModelKind::ComplEx, &data.train, &data.valid, &base, &space);
+        assert_eq!(results.len(), 2);
+        assert!(results[0].valid_mrr >= results[1].valid_mrr, "sorted best-first");
+    }
+}

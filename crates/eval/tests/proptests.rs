@@ -1,0 +1,91 @@
+//! Property-based tests of the evaluation protocol.
+
+use kgfd_embed::{new_model, ModelKind};
+use kgfd_eval::{
+    evaluate_ranking, hits_at, mean_rank, mrr, rank_all, rank_with_exclusions, RankingSummary,
+};
+use kgfd_kg::{EntityId, KnownTriples, Triple, TripleStore};
+use proptest::prelude::*;
+
+const N: u32 = 9;
+const K: u32 = 3;
+
+fn arb_triples() -> impl Strategy<Value = Vec<Triple>> {
+    proptest::collection::vec(
+        (0..N, 0..K, 0..N).prop_map(|(s, r, o)| Triple::new(s, r, o)),
+        1..40,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn rank_is_always_in_entity_range(scores in proptest::collection::vec(-5.0f32..5.0, 2..30),
+                                      target in 0usize..2) {
+        let target = EntityId((target % scores.len()) as u32);
+        let r = rank_with_exclusions(&scores, target, &[]);
+        prop_assert!(r >= 1.0);
+        prop_assert!(r <= scores.len() as f64);
+    }
+
+    #[test]
+    fn excluding_entities_never_worsens_rank(
+        scores in proptest::collection::vec(-5.0f32..5.0, 3..30),
+        excl in proptest::collection::vec(0u32..30, 0..5)
+    ) {
+        let target = EntityId(0);
+        let mut exclude: Vec<EntityId> = excl
+            .into_iter()
+            .filter(|&e| (e as usize) < scores.len())
+            .map(EntityId)
+            .collect();
+        exclude.sort_unstable();
+        exclude.dedup();
+        let raw = rank_with_exclusions(&scores, target, &[]);
+        let filtered = rank_with_exclusions(&scores, target, &exclude);
+        prop_assert!(filtered <= raw + 1e-12);
+    }
+
+    #[test]
+    fn mrr_and_hits_are_bounded(ranks in proptest::collection::vec(1.0f64..100.0, 0..50)) {
+        prop_assert!((0.0..=1.0).contains(&mrr(&ranks)));
+        for k in [1usize, 3, 10] {
+            prop_assert!((0.0..=1.0).contains(&hits_at(&ranks, k)));
+        }
+        if !ranks.is_empty() {
+            prop_assert!(mean_rank(&ranks) >= 1.0);
+            // MRR ≥ 1/mean_rank by Jensen's inequality.
+            prop_assert!(mrr(&ranks) + 1e-12 >= 1.0 / mean_rank(&ranks));
+        }
+    }
+
+    #[test]
+    fn hits_is_monotone_in_k(ranks in proptest::collection::vec(1.0f64..50.0, 1..40)) {
+        prop_assert!(hits_at(&ranks, 1) <= hits_at(&ranks, 3));
+        prop_assert!(hits_at(&ranks, 3) <= hits_at(&ranks, 10));
+    }
+
+    #[test]
+    fn evaluation_is_thread_count_invariant(triples in arb_triples(), seed in 0u64..50) {
+        let store = TripleStore::new(N as usize, K as usize, triples).unwrap();
+        let model = new_model(ModelKind::DistMult, N as usize, K as usize, 8, seed);
+        let known = KnownTriples::from_slices([store.triples()]);
+        let a = evaluate_ranking(model.as_ref(), store.triples(), Some(&known), 1);
+        let b = evaluate_ranking(model.as_ref(), store.triples(), Some(&known), 4);
+        prop_assert_eq!(a.mrr.to_bits(), b.mrr.to_bits());
+        prop_assert_eq!(a.count, b.count);
+    }
+
+    #[test]
+    fn summary_recomposes_from_per_triple_ranks(triples in arb_triples(), seed in 0u64..50) {
+        let store = TripleStore::new(N as usize, K as usize, triples).unwrap();
+        let model = new_model(ModelKind::TransE, N as usize, K as usize, 8, seed);
+        let ranks = rank_all(model.as_ref(), store.triples(), None, 2);
+        let flat: Vec<f64> = ranks.iter().flat_map(|r| [r.subject, r.object]).collect();
+        let direct = evaluate_ranking(model.as_ref(), store.triples(), None, 2);
+        let recomposed = RankingSummary::from_ranks(&flat);
+        prop_assert!((direct.mrr - recomposed.mrr).abs() < 1e-12);
+        prop_assert_eq!(direct.count, recomposed.count);
+    }
+}

@@ -1,0 +1,165 @@
+//! Undirected homogeneous projection of a knowledge graph.
+//!
+//! The paper's triangle- and clustering-based sampling strategies (Section
+//! 3.1.2) "are computed as if the graph is homogeneous and undirected": edge
+//! labels and directions are dropped, parallel edges collapse into one, and
+//! self-loops are removed. This module materializes that projection as a
+//! CSR structure with sorted neighbour lists, which makes neighbourhood
+//! intersection (the kernel of triangle counting) a linear merge.
+
+use kgfd_kg::{EntityId, TripleStore};
+
+/// CSR adjacency of the undirected simple projection.
+#[derive(Debug, Clone)]
+pub struct UndirectedAdjacency {
+    offsets: Vec<usize>,
+    neighbors: Vec<u32>,
+}
+
+impl UndirectedAdjacency {
+    /// Projects a triple store: for every triple `(s, r, o)` with `s != o`,
+    /// adds the undirected edge `{s, o}` once.
+    pub fn from_store(store: &TripleStore) -> Self {
+        let n = store.num_entities();
+        let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(store.len() * 2);
+        for t in store.triples() {
+            if t.subject != t.object {
+                pairs.push((t.subject.0, t.object.0));
+                pairs.push((t.object.0, t.subject.0));
+            }
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbors = Vec::with_capacity(pairs.len());
+        offsets.push(0);
+        let mut cursor = 0usize;
+        for v in 0..n as u32 {
+            while cursor < pairs.len() && pairs[cursor].0 == v {
+                neighbors.push(pairs[cursor].1);
+                cursor += 1;
+            }
+            offsets.push(neighbors.len());
+        }
+        UndirectedAdjacency { offsets, neighbors }
+    }
+
+    /// Number of nodes (the full entity range, including isolated nodes).
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges in the simple projection.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Sorted distinct neighbours of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: EntityId) -> &[u32] {
+        let i = v.index();
+        &self.neighbors[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Simple degree of `v` (number of distinct neighbours).
+    #[inline]
+    pub fn degree(&self, v: EntityId) -> usize {
+        self.offsets[v.index() + 1] - self.offsets[v.index()]
+    }
+
+    /// `true` if `{u, v}` is an edge of the projection (binary search).
+    #[inline]
+    pub fn has_edge(&self, u: EntityId, v: EntityId) -> bool {
+        self.neighbors(u).binary_search(&v.0).is_ok()
+    }
+}
+
+/// Size of the sorted intersection of two ascending slices — the number of
+/// common neighbours of two nodes.
+#[inline]
+pub fn sorted_intersection_count(a: &[u32], b: &[u32]) -> usize {
+    let mut i = 0;
+    let mut j = 0;
+    let mut count = 0;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgfd_kg::Triple;
+
+    /// Triangle 0-1-2 plus pendant 3, with a duplicate edge in both
+    /// directions and a self-loop to exercise projection rules.
+    fn diamond() -> UndirectedAdjacency {
+        let store = TripleStore::new(
+            4,
+            2,
+            vec![
+                Triple::new(0u32, 0u32, 1u32),
+                Triple::new(1u32, 1u32, 0u32), // parallel reverse edge, other relation
+                Triple::new(1u32, 0u32, 2u32),
+                Triple::new(0u32, 0u32, 2u32),
+                Triple::new(2u32, 0u32, 3u32),
+                Triple::new(3u32, 0u32, 3u32), // self-loop: dropped
+            ],
+        )
+        .unwrap();
+        UndirectedAdjacency::from_store(&store)
+    }
+
+    #[test]
+    fn projection_collapses_parallel_edges_and_drops_loops() {
+        let adj = diamond();
+        assert_eq!(adj.num_nodes(), 4);
+        assert_eq!(adj.num_edges(), 4); // {0,1},{1,2},{0,2},{2,3}
+        assert_eq!(adj.neighbors(EntityId(0)), &[1, 2]);
+        assert_eq!(adj.neighbors(EntityId(2)), &[0, 1, 3]);
+        assert_eq!(adj.neighbors(EntityId(3)), &[2]);
+    }
+
+    #[test]
+    fn degree_counts_distinct_neighbors() {
+        let adj = diamond();
+        assert_eq!(adj.degree(EntityId(0)), 2);
+        assert_eq!(adj.degree(EntityId(2)), 3);
+        assert_eq!(adj.degree(EntityId(3)), 1);
+    }
+
+    #[test]
+    fn has_edge_is_symmetric() {
+        let adj = diamond();
+        assert!(adj.has_edge(EntityId(0), EntityId(1)));
+        assert!(adj.has_edge(EntityId(1), EntityId(0)));
+        assert!(!adj.has_edge(EntityId(0), EntityId(3)));
+    }
+
+    #[test]
+    fn isolated_nodes_have_empty_neighborhoods() {
+        let store = TripleStore::new(3, 1, vec![Triple::new(0u32, 0u32, 1u32)]).unwrap();
+        let adj = UndirectedAdjacency::from_store(&store);
+        assert_eq!(adj.neighbors(EntityId(2)), &[] as &[u32]);
+        assert_eq!(adj.degree(EntityId(2)), 0);
+    }
+
+    #[test]
+    fn intersection_count_on_samples() {
+        assert_eq!(sorted_intersection_count(&[1, 3, 5], &[2, 3, 5, 7]), 2);
+        assert_eq!(sorted_intersection_count(&[], &[1]), 0);
+        assert_eq!(sorted_intersection_count(&[1, 2], &[3, 4]), 0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Local clustering coefficients (Watts–Strogatz) on the simple projection.
+//!
+//! `c(v) = 2 T(v) / (deg(v) (deg(v) − 1))` (paper Eq. 5), with `c(v) = 0`
+//! for nodes of degree < 2. The dataset-level average of `c(v)` is the
+//! density measure the paper uses throughout (Figure 3, §4.2.3).
+
+use crate::{local_triangle_counts, UndirectedAdjacency};
+use kgfd_kg::EntityId;
+
+/// Local clustering coefficient per node.
+pub fn local_clustering_coefficients(adj: &UndirectedAdjacency) -> Vec<f64> {
+    let triangles = local_triangle_counts(adj);
+    clustering_from_triangles(adj, &triangles)
+}
+
+/// Same as [`local_clustering_coefficients`] but reuses precomputed triangle
+/// counts, since callers typically need both.
+pub fn clustering_from_triangles(adj: &UndirectedAdjacency, triangles: &[u64]) -> Vec<f64> {
+    (0..adj.num_nodes())
+        .map(|v| {
+            let d = adj.degree(EntityId(v as u32)) as f64;
+            if d < 2.0 {
+                0.0
+            } else {
+                2.0 * triangles[v] as f64 / (d * (d - 1.0))
+            }
+        })
+        .collect()
+}
+
+/// Global clustering coefficient (transitivity): `3 × triangles / wedges`,
+/// where a wedge is a path of length two. Unlike the node-average this
+/// weighs hubs by their wedge count — the other density measure commonly
+/// quoted alongside Figure 3.
+pub fn global_transitivity(adj: &UndirectedAdjacency, triangles: &[u64]) -> f64 {
+    let closed: u64 = triangles.iter().sum(); // 3 × #triangles
+    let wedges: u64 = (0..adj.num_nodes())
+        .map(|v| {
+            let d = adj.degree(EntityId(v as u32)) as u64;
+            d * d.saturating_sub(1) / 2
+        })
+        .sum();
+    if wedges == 0 {
+        0.0
+    } else {
+        closed as f64 / wedges as f64
+    }
+}
+
+/// Average of the local clustering coefficients over *all* nodes — the red
+/// line of the paper's Figure 3 (e.g. WN18RR ≈ 0.059).
+pub fn average_clustering(coefficients: &[f64]) -> f64 {
+    if coefficients.is_empty() {
+        return 0.0;
+    }
+    coefficients.iter().sum::<f64>() / coefficients.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgfd_kg::{Triple, TripleStore};
+
+    fn adj_of(n: usize, edges: &[(u32, u32)]) -> UndirectedAdjacency {
+        let triples = edges
+            .iter()
+            .map(|&(a, b)| Triple::new(a, 0u32, b))
+            .collect();
+        UndirectedAdjacency::from_store(&TripleStore::new(n, 1, triples).unwrap())
+    }
+
+    #[test]
+    fn complete_graph_has_coefficient_one() {
+        let adj = adj_of(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        for c in local_clustering_coefficients(&adj) {
+            assert!((c - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn star_hub_has_coefficient_zero() {
+        let adj = adj_of(4, &[(0, 1), (0, 2), (0, 3)]);
+        let c = local_clustering_coefficients(&adj);
+        assert_eq!(c, vec![0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn triangle_with_pendant() {
+        // 0-1-2 triangle, 3 pendant on 2.
+        let adj = adj_of(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let c = local_clustering_coefficients(&adj);
+        assert!((c[0] - 1.0).abs() < 1e-12);
+        assert!((c[1] - 1.0).abs() < 1e-12);
+        // node 2: deg 3, 1 triangle → 2·1/(3·2) = 1/3
+        assert!((c[2] - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(c[3], 0.0);
+    }
+
+    #[test]
+    fn average_includes_zero_degree_nodes() {
+        let adj = adj_of(4, &[(0, 1), (1, 2), (2, 0)]);
+        let c = local_clustering_coefficients(&adj);
+        // three nodes at 1.0, one isolated at 0.0 → 0.75
+        assert!((average_clustering(&c) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_average_is_zero() {
+        assert_eq!(average_clustering(&[]), 0.0);
+    }
+
+    #[test]
+    fn transitivity_of_triangle_is_one() {
+        let adj = adj_of(3, &[(0, 1), (1, 2), (2, 0)]);
+        let t = crate::local_triangle_counts(&adj);
+        assert!((global_transitivity(&adj, &t) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transitivity_differs_from_average_on_hubby_graphs() {
+        // Triangle + large star on node 0: node-average stays high (three
+        // triangle nodes at ≥ 1/3), transitivity collapses (the hub's many
+        // open wedges dominate).
+        let adj = adj_of(
+            8,
+            &[(0, 1), (1, 2), (2, 0), (0, 3), (0, 4), (0, 5), (0, 6), (0, 7)],
+        );
+        let t = crate::local_triangle_counts(&adj);
+        let coeffs = crate::clustering_from_triangles(&adj, &t);
+        let avg = average_clustering(&coeffs);
+        let trans = global_transitivity(&adj, &t);
+        assert!(trans < avg, "transitivity {trans} vs average {avg}");
+    }
+
+    #[test]
+    fn star_has_zero_transitivity() {
+        let adj = adj_of(4, &[(0, 1), (0, 2), (0, 3)]);
+        let t = crate::local_triangle_counts(&adj);
+        assert_eq!(global_transitivity(&adj, &t), 0.0);
+    }
+}

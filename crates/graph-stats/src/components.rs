@@ -1,0 +1,155 @@
+//! Connected components of the undirected projection (union-find).
+//!
+//! Component structure matters for fact discovery: candidates can only link
+//! entities the sampler reaches, and a fragmented graph (many components)
+//! bounds how far any popularity-based strategy can see.
+
+use crate::UndirectedAdjacency;
+use kgfd_kg::EntityId;
+
+/// Disjoint-set forest with path halving and union by size.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            components: n,
+        }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut x = x as u32;
+        while self.parent[x as usize] != x {
+            // Path halving.
+            self.parent[x as usize] = self.parent[self.parent[x as usize] as usize];
+            x = self.parent[x as usize];
+        }
+        x as usize
+    }
+
+    /// Merges the sets of `a` and `b`; returns `true` if they were distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra] >= self.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small] = big as u32;
+        self.size[big] += self.size[small];
+        self.components -= 1;
+        true
+    }
+
+    /// Number of disjoint sets.
+    pub fn num_components(&self) -> usize {
+        self.components
+    }
+
+    /// Size of `x`'s set.
+    pub fn component_size(&mut self, x: usize) -> usize {
+        let root = self.find(x);
+        self.size[root] as usize
+    }
+}
+
+/// Component statistics of a graph.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ComponentSummary {
+    /// Number of connected components (isolated nodes count).
+    pub count: usize,
+    /// Nodes in the largest component.
+    pub largest: usize,
+    /// Number of isolated nodes (degree 0).
+    pub isolated: usize,
+}
+
+/// Computes the component summary of the undirected projection.
+pub fn connected_components(adj: &UndirectedAdjacency) -> ComponentSummary {
+    let n = adj.num_nodes();
+    let mut uf = UnionFind::new(n);
+    for v in 0..n {
+        for &u in adj.neighbors(EntityId(v as u32)) {
+            uf.union(v, u as usize);
+        }
+    }
+    let mut largest = 0;
+    let mut isolated = 0;
+    for v in 0..n {
+        largest = largest.max(uf.component_size(v));
+        if adj.degree(EntityId(v as u32)) == 0 {
+            isolated += 1;
+        }
+    }
+    ComponentSummary {
+        count: uf.num_components(),
+        largest: if n == 0 { 0 } else { largest },
+        isolated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgfd_kg::{Triple, TripleStore};
+
+    fn adj_of(n: usize, edges: &[(u32, u32)]) -> UndirectedAdjacency {
+        let triples = edges
+            .iter()
+            .map(|&(a, b)| Triple::new(a, 0u32, b))
+            .collect();
+        UndirectedAdjacency::from_store(&TripleStore::new(n, 1, triples).unwrap())
+    }
+
+    #[test]
+    fn two_components_plus_isolated_node() {
+        // {0,1,2} triangle, {3,4} edge, {5} isolated.
+        let adj = adj_of(6, &[(0, 1), (1, 2), (2, 0), (3, 4)]);
+        let c = connected_components(&adj);
+        assert_eq!(c.count, 3);
+        assert_eq!(c.largest, 3);
+        assert_eq!(c.isolated, 1);
+    }
+
+    #[test]
+    fn fully_connected_graph_has_one_component() {
+        let adj = adj_of(4, &[(0, 1), (1, 2), (2, 3)]);
+        let c = connected_components(&adj);
+        assert_eq!(c.count, 1);
+        assert_eq!(c.largest, 4);
+        assert_eq!(c.isolated, 0);
+    }
+
+    #[test]
+    fn union_find_counts_merges() {
+        let mut uf = UnionFind::new(4);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0), "already merged");
+        assert!(uf.union(2, 3));
+        assert_eq!(uf.num_components(), 2);
+        assert_eq!(uf.component_size(0), 2);
+        assert_eq!(uf.find(0), uf.find(1));
+        assert_ne!(uf.find(0), uf.find(2));
+    }
+
+    #[test]
+    fn empty_graph_edge_cases() {
+        let adj = adj_of(3, &[]);
+        let c = connected_components(&adj);
+        assert_eq!(c.count, 3);
+        assert_eq!(c.largest, 1);
+        assert_eq!(c.isolated, 3);
+    }
+}

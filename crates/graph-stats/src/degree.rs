@@ -1,0 +1,94 @@
+//! Node degrees of a knowledge graph, in both the multigraph and the
+//! simple-projection sense.
+//!
+//! The paper's GRAPH DEGREE strategy (Eq. 3) weighs entity `x` by
+//! `deg(x) / Σ deg(v)` where `deg(x)` is "the sum of in- and out-degree" —
+//! i.e. the number of triple occurrences of `x`, counting parallel edges.
+//! That is [`occurrence_degrees`]. The clustering coefficient (Eq. 5) instead
+//! uses the degree of the undirected *simple* projection, [`simple_degrees`].
+
+use crate::UndirectedAdjacency;
+use kgfd_kg::{Side, TripleStore};
+
+/// Multigraph degree per entity: number of triples in which the entity
+/// appears as subject plus those where it appears as object. Self-loops
+/// count twice, matching in+out degree semantics.
+pub fn occurrence_degrees(store: &TripleStore) -> Vec<u64> {
+    let subj = store.global_side_counts(Side::Subject);
+    let obj = store.global_side_counts(Side::Object);
+    subj.iter()
+        .zip(&obj)
+        .map(|(&s, &o)| s as u64 + o as u64)
+        .collect()
+}
+
+/// Simple-projection degree per entity: number of distinct neighbours in the
+/// undirected homogeneous projection.
+pub fn simple_degrees(adj: &UndirectedAdjacency) -> Vec<u64> {
+    (0..adj.num_nodes())
+        .map(|v| adj.degree(kgfd_kg::EntityId(v as u32)) as u64)
+        .collect()
+}
+
+/// Average number of triples per entity — the "relations per entity" figure
+/// the paper quotes when explaining WN18RR's sparsity (§4.2.1: "entities of
+/// WN18RR have an average of 4.5 relations").
+pub fn avg_triples_per_entity(store: &TripleStore) -> f64 {
+    if store.num_entities() == 0 {
+        return 0.0;
+    }
+    // Each triple touches two entity slots.
+    2.0 * store.len() as f64 / store.num_entities() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgfd_kg::Triple;
+
+    fn store() -> TripleStore {
+        TripleStore::new(
+            4,
+            2,
+            vec![
+                Triple::new(0u32, 0u32, 1u32),
+                Triple::new(1u32, 1u32, 0u32),
+                Triple::new(0u32, 1u32, 1u32),
+                Triple::new(2u32, 0u32, 2u32), // self-loop
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn occurrence_degree_counts_multiplicity() {
+        let d = occurrence_degrees(&store());
+        // entity 0: subject ×2, object ×1 → 3; entity 1: subject ×1, object ×2 → 3
+        // entity 2: self-loop → 2; entity 3: isolated → 0
+        assert_eq!(d, vec![3, 3, 2, 0]);
+    }
+
+    #[test]
+    fn simple_degree_ignores_multiplicity_and_loops() {
+        let s = store();
+        let adj = UndirectedAdjacency::from_store(&s);
+        let d = simple_degrees(&adj);
+        assert_eq!(d, vec![1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn degree_sums_relate_to_triple_count() {
+        let s = store();
+        let total: u64 = occurrence_degrees(&s).iter().sum();
+        assert_eq!(total, 2 * s.len() as u64);
+    }
+
+    #[test]
+    fn avg_triples_per_entity_matches_paper_arithmetic() {
+        // WN18RR-style: ~90k triples over ~40k entities → ~4.5 per entity.
+        let v: f64 = 2.0 * 90_000.0 / 40_000.0;
+        assert!((v - 4.5).abs() < 1e-9);
+        let s = store();
+        assert!((avg_triples_per_entity(&s) - 2.0).abs() < 1e-12);
+    }
+}

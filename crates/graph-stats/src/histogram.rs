@@ -1,0 +1,112 @@
+//! Fixed-bin histograms for the distribution plots of the paper
+//! (Figure 3: clustering-coefficient distributions; Figure 5: per-node
+//! triangle/coefficient profiles).
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram over `[min, max]` with equal-width bins.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Lower edge of the first bin.
+    pub min: f64,
+    /// Upper edge of the last bin.
+    pub max: f64,
+    /// Per-bin counts; `counts.len()` is the number of bins.
+    pub counts: Vec<u64>,
+    /// Number of values seen (including out-of-range clamped ones).
+    pub total: u64,
+}
+
+impl Histogram {
+    /// Builds a histogram of `values` with `bins` equal-width bins spanning
+    /// `[min, max]`. Values outside the range are clamped into the edge bins
+    /// (distribution plots should not silently drop outliers).
+    pub fn build(values: impl IntoIterator<Item = f64>, min: f64, max: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(max > min, "histogram range must be non-empty");
+        let mut counts = vec![0u64; bins];
+        let width = (max - min) / bins as f64;
+        let mut total = 0u64;
+        for v in values {
+            let idx = ((v - min) / width).floor();
+            let idx = (idx as i64).clamp(0, bins as i64 - 1) as usize;
+            counts[idx] += 1;
+            total += 1;
+        }
+        Histogram {
+            min,
+            max,
+            counts,
+            total,
+        }
+    }
+
+    /// `(bin_center, count)` pairs — the series a plotting tool consumes.
+    pub fn series(&self) -> Vec<(f64, u64)> {
+        let width = (self.max - self.min) / self.counts.len() as f64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.min + width * (i as f64 + 0.5), c))
+            .collect()
+    }
+
+    /// Fraction of mass in each bin.
+    pub fn densities(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.total as f64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_land_in_expected_bins() {
+        let h = Histogram::build([0.05, 0.15, 0.95, 0.15], 0.0, 1.0, 10);
+        assert_eq!(h.counts[0], 1);
+        assert_eq!(h.counts[1], 2);
+        assert_eq!(h.counts[9], 1);
+        assert_eq!(h.total, 4);
+    }
+
+    #[test]
+    fn out_of_range_values_clamp_to_edges() {
+        let h = Histogram::build([-5.0, 5.0], 0.0, 1.0, 4);
+        assert_eq!(h.counts[0], 1);
+        assert_eq!(h.counts[3], 1);
+    }
+
+    #[test]
+    fn boundary_value_goes_to_last_bin() {
+        let h = Histogram::build([1.0], 0.0, 1.0, 4);
+        assert_eq!(h.counts[3], 1);
+    }
+
+    #[test]
+    fn series_centers_are_midpoints() {
+        let h = Histogram::build([0.1], 0.0, 1.0, 2);
+        let s = h.series();
+        assert!((s[0].0 - 0.25).abs() < 1e-12);
+        assert!((s[1].0 - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn densities_sum_to_one() {
+        let h = Histogram::build([0.1, 0.2, 0.7, 0.9, 0.3], 0.0, 1.0, 7);
+        let sum: f64 = h.densities().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_has_zero_densities() {
+        let h = Histogram::build(std::iter::empty(), 0.0, 1.0, 3);
+        assert_eq!(h.densities(), vec![0.0, 0.0, 0.0]);
+    }
+}

@@ -1,0 +1,146 @@
+//! One-shot structural summary of a knowledge graph — everything the paper's
+//! analysis sections read off a dataset (sparsity, density, degree skew).
+
+use crate::{
+    average_clustering, avg_triples_per_entity, clustering_from_triangles, local_triangle_counts,
+    occurrence_degrees, UndirectedAdjacency,
+};
+use kgfd_kg::TripleStore;
+use serde::{Deserialize, Serialize};
+
+/// Structural statistics of one graph.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GraphSummary {
+    /// `|E|` — number of entities (vocabulary size).
+    pub num_entities: usize,
+    /// `|R|` — number of relation types.
+    pub num_relations: usize,
+    /// `|G|` — number of triples.
+    pub num_triples: usize,
+    /// Edges of the undirected simple projection.
+    pub simple_edges: usize,
+    /// Average triples per entity (the paper's "average relations" measure).
+    pub avg_triples_per_entity: f64,
+    /// Average local clustering coefficient (Figure 3's red line).
+    pub avg_clustering: f64,
+    /// Total distinct triangles.
+    pub total_triangles: u64,
+    /// Maximum multigraph degree.
+    pub max_degree: u64,
+    /// Mean multigraph degree.
+    pub mean_degree: f64,
+}
+
+impl GraphSummary {
+    /// Computes the full summary. Cost is dominated by triangle counting.
+    pub fn compute(store: &TripleStore) -> Self {
+        let adj = UndirectedAdjacency::from_store(store);
+        let triangles = local_triangle_counts(&adj);
+        let coeffs = clustering_from_triangles(&adj, &triangles);
+        let degrees = occurrence_degrees(store);
+        let max_degree = degrees.iter().copied().max().unwrap_or(0);
+        let mean_degree = if degrees.is_empty() {
+            0.0
+        } else {
+            degrees.iter().sum::<u64>() as f64 / degrees.len() as f64
+        };
+        GraphSummary {
+            num_entities: store.num_entities(),
+            num_relations: store.num_relations(),
+            num_triples: store.len(),
+            simple_edges: adj.num_edges(),
+            avg_triples_per_entity: avg_triples_per_entity(store),
+            avg_clustering: average_clustering(&coeffs),
+            total_triangles: crate::total_triangles(&triangles),
+            max_degree,
+            mean_degree,
+        }
+    }
+}
+
+/// Descriptive statistics of a numeric series (used when comparing weight
+/// vectors and coefficient distributions across strategies).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Descriptive {
+    /// Number of values.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Descriptive {
+    /// Computes all statistics in one pass (two for the variance).
+    pub fn of(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Descriptive {
+                count: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                min: 0.0,
+                max: 0.0,
+            };
+        }
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Descriptive {
+            count: values.len(),
+            mean,
+            std_dev: var.sqrt(),
+            min,
+            max,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgfd_kg::Triple;
+
+    #[test]
+    fn summary_of_triangle_graph() {
+        let store = TripleStore::new(
+            3,
+            1,
+            vec![
+                Triple::new(0u32, 0u32, 1u32),
+                Triple::new(1u32, 0u32, 2u32),
+                Triple::new(2u32, 0u32, 0u32),
+            ],
+        )
+        .unwrap();
+        let s = GraphSummary::compute(&store);
+        assert_eq!(s.num_triples, 3);
+        assert_eq!(s.simple_edges, 3);
+        assert_eq!(s.total_triangles, 1);
+        assert!((s.avg_clustering - 1.0).abs() < 1e-12);
+        assert!((s.mean_degree - 2.0).abs() < 1e-12);
+        assert_eq!(s.max_degree, 2);
+    }
+
+    #[test]
+    fn descriptive_matches_hand_computation() {
+        let d = Descriptive::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(d.count, 4);
+        assert!((d.mean - 2.5).abs() < 1e-12);
+        assert!((d.std_dev - (1.25f64).sqrt()).abs() < 1e-12);
+        assert_eq!(d.min, 1.0);
+        assert_eq!(d.max, 4.0);
+    }
+
+    #[test]
+    fn descriptive_of_empty_is_zeroed() {
+        let d = Descriptive::of(&[]);
+        assert_eq!(d.count, 0);
+        assert_eq!(d.mean, 0.0);
+    }
+}

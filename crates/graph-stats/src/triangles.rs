@@ -1,0 +1,100 @@
+//! Local triangle counting on the undirected simple projection.
+//!
+//! `T(v) = |{ e_uw : u, w ∈ N_v, e_uw ∈ E }|` — the number of edges among the
+//! neighbours of `v` (paper Eq. 4). Computed with the node-iterator
+//! algorithm: for each neighbour `u` of `v`, the triangles through the edge
+//! `{v, u}` are the common neighbours `|N(v) ∩ N(u)|`; summing over `u`
+//! counts each triangle at `v` twice.
+
+use crate::adjacency::{sorted_intersection_count, UndirectedAdjacency};
+use kgfd_kg::EntityId;
+
+/// Local triangle count per node.
+pub fn local_triangle_counts(adj: &UndirectedAdjacency) -> Vec<u64> {
+    let n = adj.num_nodes();
+    let mut counts = vec![0u64; n];
+    for (v, slot) in counts.iter_mut().enumerate() {
+        let nv = adj.neighbors(EntityId(v as u32));
+        let mut twice = 0u64;
+        for &u in nv {
+            twice += sorted_intersection_count(nv, adj.neighbors(EntityId(u))) as u64;
+        }
+        *slot = twice / 2;
+    }
+    counts
+}
+
+/// Total number of distinct triangles in the graph
+/// (`Σ_v T(v) / 3`, since each triangle is counted at its three corners).
+pub fn total_triangles(local: &[u64]) -> u64 {
+    local.iter().sum::<u64>() / 3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgfd_kg::{Triple, TripleStore};
+
+    fn adj_of(n: usize, edges: &[(u32, u32)]) -> UndirectedAdjacency {
+        let triples = edges
+            .iter()
+            .map(|&(a, b)| Triple::new(a, 0u32, b))
+            .collect();
+        UndirectedAdjacency::from_store(&TripleStore::new(n, 1, triples).unwrap())
+    }
+
+    #[test]
+    fn triangle_graph() {
+        let adj = adj_of(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(local_triangle_counts(&adj), vec![1, 1, 1]);
+        assert_eq!(total_triangles(&[1, 1, 1]), 1);
+    }
+
+    #[test]
+    fn square_has_no_triangles() {
+        let adj = adj_of(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(local_triangle_counts(&adj), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn k4_counts() {
+        // K4: every node participates in C(3,2) = 3 triangles; 4 total.
+        let adj = adj_of(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        let t = local_triangle_counts(&adj);
+        assert_eq!(t, vec![3, 3, 3, 3]);
+        assert_eq!(total_triangles(&t), 4);
+    }
+
+    #[test]
+    fn star_center_has_no_triangles() {
+        // The paper's §4.2.2 example: a star's hub is popular but triangle-free.
+        let adj = adj_of(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        assert_eq!(local_triangle_counts(&adj), vec![0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn two_triangles_sharing_an_edge() {
+        // 0-1-2 and 1-2-3 share edge {1,2}.
+        let adj = adj_of(4, &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]);
+        let t = local_triangle_counts(&adj);
+        assert_eq!(t, vec![1, 2, 2, 1]);
+        assert_eq!(total_triangles(&t), 2);
+    }
+
+    #[test]
+    fn direction_and_labels_are_ignored() {
+        // Same undirected structure built with mixed directions/relations.
+        let store = TripleStore::new(
+            3,
+            2,
+            vec![
+                Triple::new(1u32, 0u32, 0u32),
+                Triple::new(1u32, 1u32, 2u32),
+                Triple::new(0u32, 1u32, 2u32),
+            ],
+        )
+        .unwrap();
+        let adj = UndirectedAdjacency::from_store(&store);
+        assert_eq!(local_triangle_counts(&adj), vec![1, 1, 1]);
+    }
+}

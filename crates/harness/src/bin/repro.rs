@@ -1,0 +1,92 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! repro [TARGET] [SCALE]
+//!   TARGET: all | table1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 | fig8
+//!           | fig9 | fig10 | squares | longtail | grid | sweep | experiments
+//!           (default: all; `experiments` emits EXPERIMENTS.md content)
+//!   SCALE:  mini | standard                             (default: mini)
+//! ```
+//!
+//! Text reports go to stdout; JSON series to `target/kgfd-results/`.
+
+use kgfd_harness::{figures, run_grid, run_sweep, GridOptions, Scale, SweepOptions};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let target = args.first().map(String::as_str).unwrap_or("all");
+    let scale = match args.get(1).map(String::as_str) {
+        Some("standard") => Scale::Standard,
+        Some("mini") | None => Scale::Mini,
+        Some(other) => {
+            eprintln!("unknown scale {other:?}; use mini or standard");
+            std::process::exit(2);
+        }
+    };
+
+    let needs_grid = matches!(target, "all" | "grid" | "fig2" | "fig4" | "fig6" | "experiments");
+    let needs_sweep = matches!(
+        target,
+        "all" | "sweep" | "fig7" | "fig8" | "fig9" | "fig10" | "experiments"
+    );
+
+    let grid = needs_grid.then(|| run_grid(scale, &GridOptions::for_scale(scale)));
+    let sweep = needs_sweep.then(|| run_sweep(scale, &SweepOptions::for_scale(scale)));
+
+    let mut sections: Vec<String> = Vec::new();
+    let want = |name: &str| target == "all" || target == name;
+    if want("table1") {
+        sections.push(figures::table1_datasets::render(scale));
+    }
+    if let Some(grid) = &grid {
+        if want("fig2") || target == "grid" {
+            sections.push(figures::fig2_runtime::render(grid));
+        }
+        if want("fig4") || target == "grid" {
+            sections.push(figures::fig4_mrr::render(grid));
+        }
+        if want("fig6") || target == "grid" {
+            sections.push(figures::fig6_efficiency::render(grid));
+        }
+    }
+    if want("fig3") {
+        sections.push(figures::fig3_clustering_dist::render(scale));
+    }
+    if want("fig5") {
+        sections.push(figures::fig5_node_profiles::render(scale));
+    }
+    if let Some(sweep) = &sweep {
+        if want("fig7") || target == "sweep" {
+            sections.push(figures::fig7_runtime_sweep::render(sweep));
+        }
+        if want("fig8") || target == "sweep" {
+            sections.push(figures::fig8_quality_sweep::render(sweep));
+        }
+        if want("fig9") || target == "sweep" {
+            sections.push(figures::fig9_topn_efficiency::render(sweep));
+        }
+        if want("fig10") || target == "sweep" {
+            sections.push(figures::fig10_candidates_efficiency::render(sweep));
+        }
+    }
+    if want("squares") {
+        sections.push(figures::squares_cost::render(scale));
+    }
+    if want("longtail") {
+        sections.push(figures::longtail::render(scale));
+    }
+    if target == "experiments" || target == "all" {
+        if let (Some(grid), Some(sweep)) = (&grid, &sweep) {
+            sections.push(kgfd_harness::render_experiments_md(scale, grid, sweep));
+        }
+    }
+
+    if sections.is_empty() {
+        eprintln!("unknown target {target:?}");
+        std::process::exit(2);
+    }
+    for s in sections {
+        println!("{s}");
+        println!("{}", "=".repeat(80));
+    }
+}

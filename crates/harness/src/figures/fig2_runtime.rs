@@ -1,0 +1,67 @@
+//! **Figure 2** — runtime of the discovery algorithm per strategy × model,
+//! grouped by dataset. The paper's shape: UNIFORM RANDOM / ENTITY FREQUENCY
+//! / GRAPH DEGREE form the fast group, the triangle-based strategies the
+//! slow group, and WN18RR is fast across the board (few relations, sparse).
+
+use crate::figures::grid_matrix;
+use crate::{write_json, GridResults};
+
+/// Renders the runtime matrices and writes `fig2-<scale>.json`.
+pub fn render(results: &GridResults) -> String {
+    write_json(&format!("fig2-{}", results.scale.name()), &results.cells);
+    let body = grid_matrix(results, "discovery runtime (s)", |c| {
+        format!("{:.2}", c.runtime_s)
+    });
+    format!(
+        "Figure 2 — discovery runtime by strategy and model ({} scale, top_n={}, max_candidates={})\n{}",
+        results.scale.name(),
+        results.top_n,
+        results.max_candidates,
+        body
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GridCell, Scale};
+    use fact_discovery::StrategyKind;
+    use kgfd_embed::ModelKind;
+
+    fn fake_results() -> GridResults {
+        let mut cells = Vec::new();
+        for strategy in StrategyKind::PAPER_GRID {
+            for model in ModelKind::PAPER_GRID {
+                cells.push(GridCell {
+                    dataset: crate::DatasetRef::Fb15k237,
+                    model,
+                    strategy,
+                    runtime_s: 1.5,
+                    preparation_s: 0.1,
+                    candidates: 100,
+                    facts: 10,
+                    mrr: 0.1,
+                    facts_per_hour: 100.0,
+                });
+            }
+        }
+        GridResults {
+            scale: Scale::Mini,
+            top_n: 50,
+            max_candidates: 100,
+            cells,
+        }
+    }
+
+    #[test]
+    fn render_emits_one_matrix_per_dataset_present() {
+        let s = render(&fake_results());
+        assert!(s.contains("Figure 2"));
+        assert!(s.contains("fb15k237-like"));
+        assert!(!s.contains("wn18rr-like"), "absent datasets are skipped");
+        // All five strategy abbreviations appear as rows.
+        for a in ["UR", "EF", "GD", "CC", "CT"] {
+            assert!(s.contains(a));
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! **Figure 3** — distribution of the local clustering coefficients of all
+//! nodes, per dataset, with the dataset average (the red line; the paper
+//! quotes WN18RR ≈ 0.059, by far the sparsest).
+
+use crate::{write_json, DatasetRef, Scale, TextTable};
+use kgfd_graph_stats::{average_clustering, local_clustering_coefficients, Histogram, UndirectedAdjacency};
+use serde::Serialize;
+
+const BINS: usize = 20;
+
+/// One dataset's distribution.
+#[derive(Debug, Clone, Serialize)]
+pub struct ClusteringDistribution {
+    /// Dataset name.
+    pub dataset: String,
+    /// Average coefficient over all nodes.
+    pub average: f64,
+    /// `(bin_center, count)` histogram series over `[0, 1]`.
+    pub histogram: Vec<(f64, u64)>,
+}
+
+/// Computes all four distributions.
+pub fn distributions(scale: Scale) -> Vec<ClusteringDistribution> {
+    DatasetRef::ALL
+        .iter()
+        .map(|&d| {
+            let data = d.load(scale);
+            let adj = UndirectedAdjacency::from_store(&data.train);
+            let coeffs = local_clustering_coefficients(&adj);
+            let hist = Histogram::build(coeffs.iter().copied(), 0.0, 1.0, BINS);
+            ClusteringDistribution {
+                dataset: d.name().to_string(),
+                average: average_clustering(&coeffs),
+                histogram: hist.series(),
+            }
+        })
+        .collect()
+}
+
+/// Renders the distributions and writes `fig3-<scale>.json`.
+pub fn render(scale: Scale) -> String {
+    let dists = distributions(scale);
+    write_json(&format!("fig3-{}", scale.name()), &dists);
+    let mut out = format!(
+        "Figure 3 — clustering-coefficient distributions ({} scale)\n",
+        scale.name()
+    );
+    let mut table = TextTable::new(["dataset", "avg coefficient", "nodes at 0", "nodes > 0.5"]);
+    for d in &dists {
+        let total: u64 = d.histogram.iter().map(|(_, c)| c).sum();
+        let zeros = d.histogram.first().map(|&(_, c)| c).unwrap_or(0);
+        let high: u64 = d
+            .histogram
+            .iter()
+            .filter(|(center, _)| *center > 0.5)
+            .map(|(_, c)| c)
+            .sum();
+        table.row([
+            d.dataset.clone(),
+            format!("{:.4}", d.average),
+            format!("{:.1}%", 100.0 * zeros as f64 / total.max(1) as f64),
+            format!("{:.1}%", 100.0 * high as f64 / total.max(1) as f64),
+        ]);
+    }
+    out.push_str(&table.render());
+    // Sparkline-style histogram per dataset for the terminal.
+    for d in &dists {
+        let max = d.histogram.iter().map(|&(_, c)| c).max().unwrap_or(1).max(1);
+        let bars: String = d
+            .histogram
+            .iter()
+            .map(|&(_, c)| {
+                const LEVELS: [char; 9] = [' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+                LEVELS[((c * 8) as f64 / max as f64).round() as usize]
+            })
+            .collect();
+        out.push_str(&format!(
+            "{:<16} |{}| avg={:.4}\n",
+            d.dataset, bars, d.average
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wn18rr_is_the_sparsest_dataset() {
+        let dists = distributions(Scale::Mini);
+        let avg = |name: &str| {
+            dists
+                .iter()
+                .find(|d| d.dataset.contains(name))
+                .unwrap()
+                .average
+        };
+        assert!(avg("wn18rr") < avg("fb15k237"));
+        assert!(avg("wn18rr") < avg("yago310"));
+        assert!(avg("wn18rr") < avg("codexl"));
+    }
+
+    #[test]
+    fn histograms_cover_all_nodes() {
+        let dists = distributions(Scale::Mini);
+        for d in &dists {
+            let total: u64 = d.histogram.iter().map(|(_, c)| c).sum();
+            assert!(total > 0, "{} histogram empty", d.dataset);
+        }
+    }
+}

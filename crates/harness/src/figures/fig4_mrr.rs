@@ -1,0 +1,20 @@
+//! **Figure 4** — MRR of the discovered facts per strategy × model, grouped
+//! by dataset. The paper's shape: ENTITY FREQUENCY and CLUSTERING TRIANGLES
+//! lead; UNIFORM RANDOM and CLUSTERING COEFFICIENT trail.
+
+use crate::figures::grid_matrix;
+use crate::{write_json, GridResults};
+
+/// Renders the MRR matrices and writes `fig4-<scale>.json`.
+pub fn render(results: &GridResults) -> String {
+    write_json(&format!("fig4-{}", results.scale.name()), &results.cells);
+    let body = grid_matrix(results, "MRR of discovered facts", |c| {
+        format!("{:.4}", c.mrr)
+    });
+    format!(
+        "Figure 4 — fact quality (MRR) by strategy and model ({} scale, top_n={})\n{}",
+        results.scale.name(),
+        results.top_n,
+        body
+    )
+}

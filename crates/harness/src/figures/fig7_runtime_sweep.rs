@@ -1,0 +1,45 @@
+//! **Figure 7** — runtime of fact discovery on FB15K-237 with TransE as
+//! `max_candidates` grows, one line per `top_n`. The paper's shape: the
+//! `top_n` lines overlap (the filter costs nothing) while runtime rises
+//! roughly linearly with `max_candidates`.
+
+use crate::{write_json, SweepResults, TextTable};
+use fact_discovery::StrategyKind;
+
+/// Renders the runtime sweep and writes `fig7-<scale>.json`.
+pub fn render(results: &SweepResults) -> String {
+    write_json(&format!("fig7-{}", results.scale.name()), &results.cells);
+    let mut out = format!(
+        "Figure 7 — runtime vs max_candidates, lines per top_n (fb15k237-like, TransE, {} scale)\n",
+        results.scale.name()
+    );
+    for strategy in [StrategyKind::UniformRandom, StrategyKind::ClusteringTriangles] {
+        let cells = results.series(strategy);
+        if cells.is_empty() {
+            continue;
+        }
+        let mut mcs: Vec<usize> = cells.iter().map(|c| c.max_candidates).collect();
+        mcs.dedup();
+        let mut tops: Vec<usize> = cells.iter().map(|c| c.top_n).collect();
+        tops.sort_unstable();
+        tops.dedup();
+
+        out.push_str(&format!("\n{strategy}: runtime (s)\n"));
+        let mut headers = vec!["max_candidates".to_string()];
+        headers.extend(tops.iter().map(|t| format!("top_n={t}")));
+        let mut table = TextTable::new(headers);
+        for &mc in &mcs {
+            let mut row = vec![mc.to_string()];
+            for &t in &tops {
+                row.push(
+                    results
+                        .at(strategy, mc, t)
+                        .map_or("-".into(), |c| format!("{:.2}", c.runtime_s)),
+                );
+            }
+            table.row(row);
+        }
+        out.push_str(&table.render());
+    }
+    out
+}

@@ -1,0 +1,33 @@
+//! # kgfd-harness — the paper's experimental workflow, reproducible
+//!
+//! Implements the workflow of the paper's Figure 1 — dataset selection →
+//! KGE training (with a disk-cached [model zoo](trained_model)) → fact
+//! discovery → metrics — and one regenerator per table/figure of the
+//! evaluation section (see [`figures`] and DESIGN.md §4).
+//!
+//! Two entry points produce all shared measurements:
+//! * [`run_grid`] — the 4 × 5 × 5 grid behind Figures 2, 4, and 6;
+//! * [`run_sweep`] — the `max_candidates` × `top_n` sweeps behind
+//!   Figures 7–10.
+//!
+//! The `repro` binary drives everything:
+//! `cargo run --release -p kgfd-harness --bin repro -- all mini`.
+
+#![warn(missing_docs)]
+
+mod experiment;
+mod experiments_md;
+pub mod figures;
+mod grid;
+mod output;
+mod sweep;
+mod zoo;
+
+pub use experiment::{paper_grid, DatasetRef, GridPoint, Scale};
+pub use experiments_md::render as render_experiments_md;
+pub use grid::{run_grid, GridCell, GridOptions, GridResults};
+pub use output::{results_dir, write_json, TextTable};
+pub use sweep::{
+    run_sweep, SweepCell, SweepOptions, SweepResults, MAX_CANDIDATES_VALUES, TOP_N_VALUES,
+};
+pub use zoo::{cache_dir, train_config, trained_model};

@@ -1,0 +1,146 @@
+//! The model zoo: trained models per (dataset, model-kind, scale), with a
+//! disk cache so the figure regenerators and benches don't retrain.
+//!
+//! Mirrors the paper's "Model Training" step (§3.2): one tuned model per
+//! dataset × embedding pair, trained once and reused by every discovery
+//! experiment. Hyperparameters follow the per-pair table in
+//! [`train_config`]; datasets regenerate deterministically, so cached
+//! parameter files remain valid across runs.
+
+use crate::{DatasetRef, Scale};
+use kgfd_embed::{
+    load_model, save_model, train, KgeModel, LossKind, ModelKind, OptimizerKind, TrainConfig,
+};
+use kgfd_kg::Dataset;
+use std::path::PathBuf;
+
+/// Training hyperparameters for one dataset × model pair.
+///
+/// All models train with Adam (the paper's optimizer) and BCE loss except
+/// TransE, which keeps its native margin loss and entity normalization.
+/// Epoch counts shrink with dataset size to keep the full grid tractable on
+/// CPU; ConvE gets fewer epochs (it sees each triple twice via reciprocals).
+pub fn train_config(dataset: DatasetRef, model: ModelKind, scale: Scale) -> TrainConfig {
+    let epochs_base = match dataset {
+        DatasetRef::Fb15k237 => 25,
+        DatasetRef::Wn18rr => 40,
+        DatasetRef::Yago310 => 12,
+        DatasetRef::CodexL => 20,
+    };
+    let epochs = match scale {
+        Scale::Standard => epochs_base,
+        Scale::Mini => epochs_base * 2, // tiny data, cheap epochs
+    };
+    let (epochs, negatives) = match model {
+        ModelKind::ConvE => ((epochs / 2).max(3), 2),
+        ModelKind::Rescal => (epochs, 3),
+        _ => (epochs, 4),
+    };
+    let (loss, normalize_entities) = match model {
+        ModelKind::TransE => (
+            LossKind::MarginRanking { margin: 1.0 },
+            true,
+        ),
+        _ => (LossKind::BinaryCrossEntropy, false),
+    };
+    TrainConfig {
+        dim: 32,
+        epochs,
+        batch_size: 256,
+        negatives,
+        loss,
+        optimizer: OptimizerKind::Adam { lr: 0.01 },
+        filter_negatives: true,
+        normalize_entities,
+        adversarial_temperature: None,
+        seed: 0xE0_57 ^ (dataset as u64) << 8 ^ (model.name().len() as u64),
+    }
+}
+
+/// Directory of the on-disk model cache (under `target/`).
+pub fn cache_dir() -> PathBuf {
+    let target = std::env::var_os("CARGO_TARGET_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            // Walk up from the crate dir to the workspace target.
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../../target")
+        });
+    target.join("kgfd-models")
+}
+
+fn cache_path(dataset: DatasetRef, model: ModelKind, scale: Scale) -> PathBuf {
+    cache_dir().join(format!(
+        "{}-{}-{}.kgfd",
+        dataset.name(),
+        model.name(),
+        scale.name()
+    ))
+}
+
+/// Returns a trained model for the pair, loading from the disk cache when
+/// possible and training + caching otherwise. `data` must be the dataset
+/// produced by `dataset.load(scale)`.
+pub fn trained_model(
+    dataset: DatasetRef,
+    model: ModelKind,
+    scale: Scale,
+    data: &Dataset,
+) -> Box<dyn KgeModel> {
+    let path = cache_path(dataset, model, scale);
+    if let Ok(bytes) = std::fs::read(&path) {
+        if let Ok(loaded) = load_model(&bytes) {
+            if loaded.num_entities() == data.train.num_entities()
+                && loaded.num_relations() == data.train.num_relations()
+            {
+                return loaded;
+            }
+        }
+        // Stale or corrupt cache entry: fall through to retrain.
+    }
+    let config = train_config(dataset, model, scale);
+    let (trained, _) = train(model, &data.train, &config);
+    if std::fs::create_dir_all(cache_dir()).is_ok() {
+        // Cache failures are non-fatal: training is always reproducible.
+        let _ = std::fs::write(&path, save_model(trained.as_ref()));
+    }
+    trained
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configs_cover_every_grid_pair() {
+        for dataset in DatasetRef::ALL {
+            for model in ModelKind::PAPER_GRID {
+                let c = train_config(dataset, model, Scale::Mini);
+                assert!(c.epochs >= 3);
+                assert!(c.dim >= 16);
+            }
+        }
+    }
+
+    #[test]
+    fn transe_keeps_margin_loss_and_normalization() {
+        let c = train_config(DatasetRef::Fb15k237, ModelKind::TransE, Scale::Standard);
+        assert!(matches!(c.loss, LossKind::MarginRanking { .. }));
+        assert!(c.normalize_entities);
+        let c2 = train_config(DatasetRef::Fb15k237, ModelKind::DistMult, Scale::Standard);
+        assert!(matches!(c2.loss, LossKind::BinaryCrossEntropy));
+    }
+
+    #[test]
+    fn zoo_roundtrips_through_disk_cache() {
+        let dataset = DatasetRef::Wn18rr;
+        let data = dataset.load(Scale::Mini);
+        let path = cache_path(dataset, ModelKind::DistMult, Scale::Mini);
+        let _ = std::fs::remove_file(&path);
+        let a = trained_model(dataset, ModelKind::DistMult, Scale::Mini, &data);
+        assert!(path.exists(), "first call populates the cache");
+        let b = trained_model(dataset, ModelKind::DistMult, Scale::Mini, &data);
+        let t = data.train.triples()[0];
+        assert!((a.score(t) - b.score(t)).abs() < 1e-6, "cache hit matches");
+    }
+}

@@ -1,0 +1,157 @@
+//! Relation cardinality categories (1-1 / 1-N / N-1 / N-M), the classic
+//! Bordes et al. taxonomy. Cardinality drives which corruption side is
+//! informative, which relations admit CHAI-style functionality pruning, and
+//! how large the per-relation candidate pools of the discovery algorithm
+//! can be.
+
+use crate::{RelationId, TripleStore};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Cardinality class of a relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Cardinality {
+    /// ≤ ~1 object per subject and ≤ ~1 subject per object.
+    OneToOne,
+    /// Many objects per subject, ~1 subject per object.
+    OneToMany,
+    /// ~1 object per subject, many subjects per object.
+    ManyToOne,
+    /// Many on both sides.
+    ManyToMany,
+}
+
+impl Cardinality {
+    /// Conventional label (`"1-1"`, `"1-N"`, `"N-1"`, `"N-M"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Cardinality::OneToOne => "1-1",
+            Cardinality::OneToMany => "1-N",
+            Cardinality::ManyToOne => "N-1",
+            Cardinality::ManyToMany => "N-M",
+        }
+    }
+}
+
+impl std::fmt::Display for Cardinality {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Cardinality statistics of one relation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RelationCardinality {
+    /// The relation.
+    pub relation: RelationId,
+    /// Mean objects per distinct subject.
+    pub objects_per_subject: f64,
+    /// Mean subjects per distinct object.
+    pub subjects_per_object: f64,
+    /// The class under the Bordes et al. 1.5 threshold.
+    pub category: Cardinality,
+}
+
+/// Classifies every used relation of `store` (threshold 1.5, the Bordes
+/// et al. convention). Returned in ascending relation order.
+pub fn relation_cardinalities(store: &TripleStore) -> Vec<RelationCardinality> {
+    store
+        .used_relations()
+        .into_iter()
+        .map(|r| {
+            let triples = store.triples_of_relation(r);
+            let mut per_subject: HashMap<u32, usize> = HashMap::new();
+            let mut per_object: HashMap<u32, usize> = HashMap::new();
+            for t in triples {
+                *per_subject.entry(t.subject.0).or_default() += 1;
+                *per_object.entry(t.object.0).or_default() += 1;
+            }
+            let ops = triples.len() as f64 / per_subject.len().max(1) as f64;
+            let spo = triples.len() as f64 / per_object.len().max(1) as f64;
+            let category = match (ops > 1.5, spo > 1.5) {
+                (false, false) => Cardinality::OneToOne,
+                (true, false) => Cardinality::OneToMany,
+                (false, true) => Cardinality::ManyToOne,
+                (true, true) => Cardinality::ManyToMany,
+            };
+            RelationCardinality {
+                relation: r,
+                objects_per_subject: ops,
+                subjects_per_object: spo,
+                category,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Triple;
+
+    #[test]
+    fn classifies_all_four_categories() {
+        // r0 (1-1): 0→1, 2→3
+        // r1 (1-N): 0→{1,2,3}
+        // r2 (N-1): {1,2,3}→0
+        // r3 (N-M): {0,1}×{2,3}
+        let store = TripleStore::new(
+            4,
+            4,
+            vec![
+                Triple::new(0u32, 0u32, 1u32),
+                Triple::new(2u32, 0u32, 3u32),
+                Triple::new(0u32, 1u32, 1u32),
+                Triple::new(0u32, 1u32, 2u32),
+                Triple::new(0u32, 1u32, 3u32),
+                Triple::new(1u32, 2u32, 0u32),
+                Triple::new(2u32, 2u32, 0u32),
+                Triple::new(3u32, 2u32, 0u32),
+                Triple::new(0u32, 3u32, 2u32),
+                Triple::new(0u32, 3u32, 3u32),
+                Triple::new(1u32, 3u32, 2u32),
+                Triple::new(1u32, 3u32, 3u32),
+            ],
+        )
+        .unwrap();
+        let cats = relation_cardinalities(&store);
+        assert_eq!(cats.len(), 4);
+        assert_eq!(cats[0].category, Cardinality::OneToOne);
+        assert_eq!(cats[1].category, Cardinality::OneToMany);
+        assert_eq!(cats[2].category, Cardinality::ManyToOne);
+        assert_eq!(cats[3].category, Cardinality::ManyToMany);
+    }
+
+    #[test]
+    fn averages_match_hand_computation() {
+        let store = TripleStore::new(
+            3,
+            1,
+            vec![
+                Triple::new(0u32, 0u32, 1u32),
+                Triple::new(0u32, 0u32, 2u32),
+                Triple::new(1u32, 0u32, 2u32),
+            ],
+        )
+        .unwrap();
+        let c = &relation_cardinalities(&store)[0];
+        // 3 triples, 2 subjects → 1.5 objects/subject; 2 objects → 1.5.
+        assert!((c.objects_per_subject - 1.5).abs() < 1e-12);
+        assert!((c.subjects_per_object - 1.5).abs() < 1e-12);
+        assert_eq!(c.category, Cardinality::OneToOne, "threshold is strict >");
+    }
+
+    #[test]
+    fn unused_relations_are_omitted() {
+        let store = TripleStore::new(2, 3, vec![Triple::new(0u32, 1u32, 1u32)]).unwrap();
+        let cats = relation_cardinalities(&store);
+        assert_eq!(cats.len(), 1);
+        assert_eq!(cats[0].relation, RelationId(1));
+    }
+
+    #[test]
+    fn labels_are_conventional() {
+        assert_eq!(Cardinality::OneToMany.to_string(), "1-N");
+        assert_eq!(Cardinality::ManyToMany.label(), "N-M");
+    }
+}

@@ -1,0 +1,76 @@
+//! Error type shared by the knowledge-graph substrate.
+
+/// Errors raised while constructing, indexing, or (de)serializing graphs.
+#[derive(Debug)]
+pub enum KgError {
+    /// An entity id was outside the vocabulary's dense range.
+    UnknownEntity(u32),
+    /// A relation id was outside the vocabulary's dense range.
+    UnknownRelation(u32),
+    /// A text line could not be parsed as a `subject\trelation\tobject` triple.
+    MalformedLine {
+        /// 1-based line number in the input.
+        line: usize,
+        /// The offending content (truncated).
+        content: String,
+    },
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A structural invariant was violated (duplicate split member, empty graph, …).
+    Invariant(String),
+}
+
+impl std::fmt::Display for KgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KgError::UnknownEntity(id) => write!(f, "unknown entity id {id}"),
+            KgError::UnknownRelation(id) => write!(f, "unknown relation id {id}"),
+            KgError::MalformedLine { line, content } => {
+                write!(f, "malformed triple at line {line}: {content:?}")
+            }
+            KgError::Io(e) => write!(f, "i/o error: {e}"),
+            KgError::Invariant(msg) => write!(f, "invariant violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for KgError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            KgError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for KgError {
+    fn from(e: std::io::Error) -> Self {
+        KgError::Io(e)
+    }
+}
+
+/// Convenience alias used across the substrate crates.
+pub type Result<T> = std::result::Result<T, KgError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(KgError::UnknownEntity(9).to_string().contains('9'));
+        assert!(KgError::MalformedLine {
+            line: 3,
+            content: "x".into()
+        }
+        .to_string()
+        .contains("line 3"));
+        assert!(KgError::Invariant("empty".into()).to_string().contains("empty"));
+    }
+
+    #[test]
+    fn io_error_preserves_source() {
+        let e: KgError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

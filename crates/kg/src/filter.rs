@@ -1,0 +1,120 @@
+//! Index of *known-true* triples used by the filtered ranking protocol.
+//!
+//! When ranking a triple against its corruptions, the standard filtered
+//! setting (Bordes et al., as adopted by the paper) removes corruptions that
+//! are themselves known to be true — in the training, validation, or test
+//! split — so a model is not penalized for ranking another true triple high.
+
+use crate::{EntityId, RelationId, Triple};
+use std::collections::HashMap;
+
+/// Merged `(s, r) → {o}` and `(r, o) → {s}` maps over any number of splits.
+#[derive(Debug, Clone, Default)]
+pub struct KnownTriples {
+    objects_of: HashMap<(EntityId, RelationId), Vec<EntityId>>,
+    subjects_of: HashMap<(RelationId, EntityId), Vec<EntityId>>,
+    len: usize,
+}
+
+impl KnownTriples {
+    /// Builds the index from one or more triple slices (e.g. train+valid+test).
+    pub fn from_slices<'a>(slices: impl IntoIterator<Item = &'a [Triple]>) -> Self {
+        let mut me = KnownTriples::default();
+        for slice in slices {
+            for &t in slice {
+                me.insert(t);
+            }
+        }
+        me.finish();
+        me
+    }
+
+    fn insert(&mut self, t: Triple) {
+        self.objects_of
+            .entry((t.subject, t.relation))
+            .or_default()
+            .push(t.object);
+        self.subjects_of
+            .entry((t.relation, t.object))
+            .or_default()
+            .push(t.subject);
+        self.len += 1;
+    }
+
+    fn finish(&mut self) {
+        for v in self.objects_of.values_mut() {
+            v.sort_unstable();
+            v.dedup();
+        }
+        for v in self.subjects_of.values_mut() {
+            v.sort_unstable();
+            v.dedup();
+        }
+    }
+
+    /// Known true objects `o` such that `(s, r, o)` is a known triple.
+    pub fn true_objects(&self, s: EntityId, r: RelationId) -> &[EntityId] {
+        self.objects_of.get(&(s, r)).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Known true subjects `s` such that `(s, r, o)` is a known triple.
+    pub fn true_subjects(&self, r: RelationId, o: EntityId) -> &[EntityId] {
+        self.subjects_of.get(&(r, o)).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// O(log n) membership test.
+    pub fn contains(&self, t: &Triple) -> bool {
+        self.true_objects(t.subject, t.relation)
+            .binary_search(&t.object)
+            .is_ok()
+    }
+
+    /// Number of (non-distinct) insertions; useful for sanity checks.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if nothing was inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merges_multiple_splits() {
+        let train = [Triple::new(0u32, 0u32, 1u32), Triple::new(0u32, 0u32, 2u32)];
+        let test = [Triple::new(3u32, 0u32, 2u32)];
+        let k = KnownTriples::from_slices([&train[..], &test[..]]);
+        assert_eq!(
+            k.true_objects(EntityId(0), RelationId(0)),
+            &[EntityId(1), EntityId(2)]
+        );
+        assert_eq!(
+            k.true_subjects(RelationId(0), EntityId(2)),
+            &[EntityId(0), EntityId(3)]
+        );
+        assert!(k.contains(&Triple::new(3u32, 0u32, 2u32)));
+        assert!(!k.contains(&Triple::new(3u32, 0u32, 1u32)));
+    }
+
+    #[test]
+    fn duplicate_triples_dedup_in_lookup() {
+        let a = [Triple::new(0u32, 0u32, 1u32)];
+        let b = [Triple::new(0u32, 0u32, 1u32)];
+        let k = KnownTriples::from_slices([&a[..], &b[..]]);
+        assert_eq!(k.true_objects(EntityId(0), RelationId(0)).len(), 1);
+        assert_eq!(k.len(), 2, "len counts raw insertions");
+    }
+
+    #[test]
+    fn missing_keys_yield_empty_slices() {
+        let k = KnownTriples::from_slices(std::iter::empty::<&[Triple]>());
+        assert!(k.is_empty());
+        assert!(k.true_objects(EntityId(0), RelationId(0)).is_empty());
+        assert!(k.true_subjects(RelationId(0), EntityId(0)).is_empty());
+    }
+}

@@ -1,0 +1,102 @@
+//! Compact integer identifiers for entities and relations.
+//!
+//! Knowledge graphs at benchmark scale (10⁴–10⁵ entities, 10⁶ triples) are
+//! manipulated as dense integer ids rather than strings. Both id types are
+//! `u32` newtypes, which keeps a [`crate::Triple`] at 12 bytes and lets
+//! per-entity statistics live in flat `Vec`s indexed by id.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of an entity (a node of the knowledge graph).
+///
+/// Ids are dense: a graph with `N` entities uses exactly the ids `0..N`,
+/// which is guaranteed by [`crate::Vocabulary`] interning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct EntityId(pub u32);
+
+/// Identifier of a relation type (an edge label of the knowledge graph).
+///
+/// Dense in `0..K` for a graph with `K` relation types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct RelationId(pub u32);
+
+impl EntityId {
+    /// The id as a `usize`, for indexing flat per-entity arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl RelationId {
+    /// The id as a `usize`, for indexing flat per-relation arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for EntityId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        EntityId(v)
+    }
+}
+
+impl From<u32> for RelationId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        RelationId(v)
+    }
+}
+
+impl std::fmt::Display for EntityId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl std::fmt::Display for RelationId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entity_id_roundtrips_through_index() {
+        let id = EntityId(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(EntityId::from(42u32), id);
+    }
+
+    #[test]
+    fn relation_id_roundtrips_through_index() {
+        let id = RelationId(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(RelationId::from(7u32), id);
+    }
+
+    #[test]
+    fn ids_order_by_numeric_value() {
+        assert!(EntityId(1) < EntityId(2));
+        assert!(RelationId(0) < RelationId(10));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(EntityId(3).to_string(), "e3");
+        assert_eq!(RelationId(3).to_string(), "r3");
+    }
+
+    #[test]
+    fn ids_are_small() {
+        assert_eq!(std::mem::size_of::<EntityId>(), 4);
+        assert_eq!(std::mem::size_of::<RelationId>(), 4);
+    }
+}

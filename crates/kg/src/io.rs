@@ -1,0 +1,111 @@
+//! Text (TSV) serialization of triples in the `subject\trelation\tobject`
+//! format used by FB15K-237 / WN18RR / CoDEx distribution files.
+
+use crate::{KgError, Result, Triple, Vocabulary};
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Parses TSV lines into triples, interning labels into `vocab`.
+///
+/// Empty lines are skipped; lines with fewer or more than three tab-separated
+/// fields are an error carrying the 1-based line number.
+pub fn read_triples_tsv(reader: impl Read, vocab: &mut Vocabulary) -> Result<Vec<Triple>> {
+    let reader = BufReader::new(reader);
+    let mut triples = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut fields = line.split('\t');
+        let (s, r, o) = match (fields.next(), fields.next(), fields.next(), fields.next()) {
+            (Some(s), Some(r), Some(o), None) => (s, r, o),
+            _ => {
+                return Err(KgError::MalformedLine {
+                    line: i + 1,
+                    content: line.chars().take(80).collect(),
+                })
+            }
+        };
+        triples.push(Triple {
+            subject: vocab.intern_entity(s.trim()),
+            relation: vocab.intern_relation(r.trim()),
+            object: vocab.intern_entity(o.trim()),
+        });
+    }
+    Ok(triples)
+}
+
+/// Writes triples as TSV using labels from `vocab`. Ids without a label are
+/// an error — that indicates a vocabulary/store mismatch.
+pub fn write_triples_tsv(
+    mut writer: impl Write,
+    triples: &[Triple],
+    vocab: &Vocabulary,
+) -> Result<()> {
+    for t in triples {
+        let s = vocab
+            .entity_label(t.subject)
+            .ok_or(KgError::UnknownEntity(t.subject.0))?;
+        let r = vocab
+            .relation_label(t.relation)
+            .ok_or(KgError::UnknownRelation(t.relation.0))?;
+        let o = vocab
+            .entity_label(t.object)
+            .ok_or(KgError::UnknownEntity(t.object.0))?;
+        writeln!(writer, "{s}\t{r}\t{o}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EntityId, RelationId};
+
+    #[test]
+    fn parses_and_interns() {
+        let input = "alice\tknows\tbob\nbob\tknows\tcarol\n\nalice\tlikes\tcarol\n";
+        let mut vocab = Vocabulary::new();
+        let triples = read_triples_tsv(input.as_bytes(), &mut vocab).unwrap();
+        assert_eq!(triples.len(), 3);
+        assert_eq!(vocab.num_entities(), 3);
+        assert_eq!(vocab.num_relations(), 2);
+        assert_eq!(triples[0].subject, EntityId(0));
+        assert_eq!(triples[1].relation, RelationId(0));
+    }
+
+    #[test]
+    fn malformed_line_reports_position() {
+        let input = "a\tb\tc\nbroken line\n";
+        let mut vocab = Vocabulary::new();
+        let err = read_triples_tsv(input.as_bytes(), &mut vocab).unwrap_err();
+        match err {
+            KgError::MalformedLine { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn too_many_fields_is_malformed() {
+        let input = "a\tb\tc\td\n";
+        let mut vocab = Vocabulary::new();
+        assert!(read_triples_tsv(input.as_bytes(), &mut vocab).is_err());
+    }
+
+    #[test]
+    fn roundtrip_preserves_triples() {
+        let input = "alice\tknows\tbob\nbob\tlikes\tcarol\n";
+        let mut vocab = Vocabulary::new();
+        let triples = read_triples_tsv(input.as_bytes(), &mut vocab).unwrap();
+        let mut out = Vec::new();
+        write_triples_tsv(&mut out, &triples, &vocab).unwrap();
+        assert_eq!(String::from_utf8(out).unwrap(), input);
+    }
+
+    #[test]
+    fn writing_unknown_id_fails() {
+        let vocab = Vocabulary::new();
+        let t = [Triple::new(0u32, 0u32, 0u32)];
+        assert!(write_triples_tsv(Vec::new(), &t, &vocab).is_err());
+    }
+}

@@ -1,0 +1,152 @@
+//! Triple-pattern matching: `(s?, r?, o?)` lookups over a [`TripleStore`].
+//!
+//! The store's sort order `(relation, subject, object)` makes patterns that
+//! bind the relation — and optionally the subject — range scans; other
+//! shapes fall back to filtered scans of the relevant slices. This is the
+//! query primitive behind the CLI and the analysis tooling; the complexity
+//! of each shape is documented on [`TriplePattern::matches`].
+
+use crate::{EntityId, RelationId, Triple, TripleStore};
+
+/// A triple pattern with optionally bound positions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TriplePattern {
+    /// Bound subject, if any.
+    pub subject: Option<EntityId>,
+    /// Bound relation, if any.
+    pub relation: Option<RelationId>,
+    /// Bound object, if any.
+    pub object: Option<EntityId>,
+}
+
+impl TriplePattern {
+    /// The unconstrained pattern `(?, ?, ?)`.
+    pub fn any() -> Self {
+        TriplePattern::default()
+    }
+
+    /// Binds the subject.
+    pub fn with_subject(mut self, s: EntityId) -> Self {
+        self.subject = Some(s);
+        self
+    }
+
+    /// Binds the relation.
+    pub fn with_relation(mut self, r: RelationId) -> Self {
+        self.relation = Some(r);
+        self
+    }
+
+    /// Binds the object.
+    pub fn with_object(mut self, o: EntityId) -> Self {
+        self.object = Some(o);
+        self
+    }
+
+    /// `true` if `t` satisfies every bound position.
+    #[inline]
+    pub fn accepts(&self, t: &Triple) -> bool {
+        self.subject.is_none_or(|s| t.subject == s)
+            && self.relation.is_none_or(|r| t.relation == r)
+            && self.object.is_none_or(|o| t.object == o)
+    }
+
+    /// All triples of `store` matching the pattern, in store order.
+    ///
+    /// Cost: `(r, s, ·)` and `(r, s, o)` are binary-searched range scans
+    /// within the relation slice; `(r, ·, ·)` and `(r, ·, o)` scan one
+    /// relation slice; patterns without a bound relation scan the store.
+    pub fn matches<'a>(&self, store: &'a TripleStore) -> Vec<&'a Triple> {
+        let slice: &[Triple] = match self.relation {
+            Some(r) => store.triples_of_relation(r),
+            None => store.triples(),
+        };
+        let slice = match (self.relation, self.subject) {
+            (Some(_), Some(s)) => {
+                // Within a relation slice, triples are sorted by subject:
+                // narrow to the subject's sub-range.
+                let start = slice.partition_point(|t| t.subject < s);
+                let end = slice.partition_point(|t| t.subject <= s);
+                &slice[start..end]
+            }
+            _ => slice,
+        };
+        slice.iter().filter(|t| self.accepts(t)).collect()
+    }
+
+    /// Number of matches (same costs as [`matches`](Self::matches)).
+    pub fn count(&self, store: &TripleStore) -> usize {
+        self.matches(store).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> TripleStore {
+        TripleStore::new(
+            4,
+            2,
+            vec![
+                Triple::new(0u32, 0u32, 1u32),
+                Triple::new(0u32, 0u32, 2u32),
+                Triple::new(1u32, 0u32, 2u32),
+                Triple::new(0u32, 1u32, 3u32),
+                Triple::new(2u32, 1u32, 0u32),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn unbound_pattern_matches_everything() {
+        let s = store();
+        assert_eq!(TriplePattern::any().count(&s), 5);
+    }
+
+    #[test]
+    fn relation_bound_pattern_uses_relation_slice() {
+        let s = store();
+        let p = TriplePattern::any().with_relation(RelationId(0));
+        assert_eq!(p.count(&s), 3);
+        assert!(p.matches(&s).iter().all(|t| t.relation == RelationId(0)));
+    }
+
+    #[test]
+    fn subject_relation_pattern_is_a_range() {
+        let s = store();
+        let p = TriplePattern::any()
+            .with_relation(RelationId(0))
+            .with_subject(EntityId(0));
+        let matches = p.matches(&s);
+        assert_eq!(matches.len(), 2);
+        assert!(matches.iter().all(|t| t.subject == EntityId(0)));
+    }
+
+    #[test]
+    fn fully_bound_pattern_is_membership() {
+        let s = store();
+        let hit = TriplePattern::any()
+            .with_subject(EntityId(1))
+            .with_relation(RelationId(0))
+            .with_object(EntityId(2));
+        assert_eq!(hit.count(&s), 1);
+        let miss = hit.with_object(EntityId(3));
+        assert_eq!(miss.count(&s), 0);
+    }
+
+    #[test]
+    fn object_only_pattern_scans() {
+        let s = store();
+        let p = TriplePattern::any().with_object(EntityId(2));
+        assert_eq!(p.count(&s), 2);
+    }
+
+    #[test]
+    fn subject_only_pattern_spans_relations() {
+        let s = store();
+        let p = TriplePattern::any().with_subject(EntityId(0));
+        assert_eq!(p.count(&s), 3, "subject 0 appears under both relations");
+    }
+}

@@ -1,0 +1,203 @@
+//! A benchmark dataset: a vocabulary plus train/validation/test splits.
+
+use crate::{KgError, KnownTriples, Result, Triple, TripleStore, Vocabulary};
+use std::collections::HashSet;
+
+/// A knowledge-graph benchmark dataset in the standard three-way split used
+/// by the paper's Table 1 (training / validation / test).
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Human-readable dataset name (e.g. `"fb15k237-like"`).
+    pub name: String,
+    /// Label ↔ id mapping.
+    pub vocab: Vocabulary,
+    /// Training graph — the `G` the KGE model is trained on and that the
+    /// discovery algorithm samples from.
+    pub train: TripleStore,
+    /// Validation triples (hyperparameter selection, classification thresholds).
+    pub valid: Vec<Triple>,
+    /// Test triples (link-prediction evaluation).
+    pub test: Vec<Triple>,
+}
+
+impl Dataset {
+    /// Assembles a dataset and checks the split invariants the standard
+    /// protocol relies on:
+    /// * splits are pairwise disjoint,
+    /// * every entity/relation of valid/test occurs in train
+    ///   (no unseen entities, as in CoDEx and the LibKGE convention).
+    pub fn new(
+        name: impl Into<String>,
+        vocab: Vocabulary,
+        train: TripleStore,
+        valid: Vec<Triple>,
+        test: Vec<Triple>,
+    ) -> Result<Self> {
+        let held_out: Vec<(&str, &[Triple])> = vec![("valid", &valid), ("test", &test)];
+
+        let mut seen_entities = vec![false; train.num_entities()];
+        let mut seen_relations = vec![false; train.num_relations()];
+        for t in train.triples() {
+            seen_entities[t.subject.index()] = true;
+            seen_entities[t.object.index()] = true;
+            seen_relations[t.relation.index()] = true;
+        }
+
+        let mut unique: HashSet<Triple> = train.triples().iter().copied().collect();
+        for (split, triples) in &held_out {
+            for t in *triples {
+                if t.subject.index() >= train.num_entities()
+                    || t.object.index() >= train.num_entities()
+                {
+                    return Err(KgError::Invariant(format!(
+                        "{split} split references an entity outside the vocabulary"
+                    )));
+                }
+                if !seen_entities[t.subject.index()]
+                    || !seen_entities[t.object.index()]
+                    || !seen_relations[t.relation.index()]
+                {
+                    return Err(KgError::Invariant(format!(
+                        "{split} split contains an entity/relation unseen in training: {t}"
+                    )));
+                }
+                if !unique.insert(*t) {
+                    return Err(KgError::Invariant(format!(
+                        "triple {t} appears in more than one split"
+                    )));
+                }
+            }
+        }
+
+        Ok(Dataset {
+            name: name.into(),
+            vocab,
+            train,
+            valid,
+            test,
+        })
+    }
+
+    /// Total triples across all splits.
+    pub fn total_triples(&self) -> usize {
+        self.train.len() + self.valid.len() + self.test.len()
+    }
+
+    /// The filtered-ranking index over all three splits.
+    pub fn known_triples(&self) -> KnownTriples {
+        KnownTriples::from_slices([self.train.triples(), &self.valid[..], &self.test[..]])
+    }
+
+    /// Table 1-style metadata row.
+    pub fn metadata(&self) -> DatasetMetadata {
+        DatasetMetadata {
+            name: self.name.clone(),
+            training: self.train.len(),
+            validation: self.valid.len(),
+            test: self.test.len(),
+            entities: self.train.num_entities(),
+            relations: self.train.num_relations(),
+        }
+    }
+}
+
+/// One row of the paper's Table 1.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct DatasetMetadata {
+    /// Dataset name.
+    pub name: String,
+    /// Number of training triples.
+    pub training: usize,
+    /// Number of validation triples.
+    pub validation: usize,
+    /// Number of test triples.
+    pub test: usize,
+    /// Number of entities.
+    pub entities: usize,
+    /// Number of relation types.
+    pub relations: usize,
+}
+
+impl std::fmt::Display for DatasetMetadata {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<16} {:>9} {:>10} {:>8} {:>8} {:>9}",
+            self.name, self.training, self.validation, self.test, self.entities, self.relations
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> (Vocabulary, TripleStore) {
+        let vocab = Vocabulary::synthetic(4, 2);
+        let train = TripleStore::new(
+            4,
+            2,
+            vec![
+                Triple::new(0u32, 0u32, 1u32),
+                Triple::new(1u32, 0u32, 2u32),
+                Triple::new(2u32, 1u32, 3u32),
+                Triple::new(3u32, 1u32, 0u32),
+            ],
+        )
+        .unwrap();
+        (vocab, train)
+    }
+
+    #[test]
+    fn valid_dataset_constructs() {
+        let (vocab, train) = tiny();
+        let d = Dataset::new(
+            "tiny",
+            vocab,
+            train,
+            vec![Triple::new(0u32, 1u32, 2u32)],
+            vec![Triple::new(1u32, 1u32, 3u32)],
+        )
+        .unwrap();
+        assert_eq!(d.total_triples(), 6);
+        let meta = d.metadata();
+        assert_eq!(meta.entities, 4);
+        assert_eq!(meta.relations, 2);
+        assert_eq!(meta.training, 4);
+    }
+
+    #[test]
+    fn overlapping_splits_are_rejected() {
+        let (vocab, train) = tiny();
+        let dup = train.triples()[0];
+        let err = Dataset::new("bad", vocab, train, vec![dup], vec![]);
+        assert!(matches!(err, Err(KgError::Invariant(_))));
+    }
+
+    #[test]
+    fn unseen_entity_in_test_is_rejected() {
+        let vocab = Vocabulary::synthetic(5, 1);
+        // entity 4 exists in the vocabulary but never in training
+        let train =
+            TripleStore::new(5, 1, vec![Triple::new(0u32, 0u32, 1u32)]).unwrap();
+        let err = Dataset::new("bad", vocab, train, vec![], vec![Triple::new(4u32, 0u32, 0u32)]);
+        assert!(matches!(err, Err(KgError::Invariant(_))));
+    }
+
+    #[test]
+    fn known_triples_spans_all_splits() {
+        let (vocab, train) = tiny();
+        let d = Dataset::new(
+            "tiny",
+            vocab,
+            train,
+            vec![Triple::new(0u32, 1u32, 2u32)],
+            vec![Triple::new(1u32, 1u32, 3u32)],
+        )
+        .unwrap();
+        let k = d.known_triples();
+        assert!(k.contains(&Triple::new(0u32, 1u32, 2u32)));
+        assert!(k.contains(&Triple::new(1u32, 1u32, 3u32)));
+        assert!(k.contains(&Triple::new(0u32, 0u32, 1u32)));
+    }
+}

@@ -1,0 +1,166 @@
+//! String interning for entity and relation labels.
+//!
+//! All algorithms in this workspace operate on dense integer ids; the
+//! vocabulary is the single place where human-readable labels live. Interning
+//! guarantees the density invariant relied upon by flat per-entity arrays:
+//! a vocabulary with `N` entities has exactly the ids `0..N`.
+
+use crate::{EntityId, RelationId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Bidirectional mapping between labels and dense ids, for entities and
+/// relations separately.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Vocabulary {
+    entity_labels: Vec<String>,
+    relation_labels: Vec<String>,
+    #[serde(skip)]
+    entity_index: HashMap<String, EntityId>,
+    #[serde(skip)]
+    relation_index: HashMap<String, RelationId>,
+}
+
+impl Vocabulary {
+    /// An empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns an entity label, returning its id (existing or new).
+    pub fn intern_entity(&mut self, label: &str) -> EntityId {
+        if let Some(&id) = self.entity_index.get(label) {
+            return id;
+        }
+        let id = EntityId(self.entity_labels.len() as u32);
+        self.entity_labels.push(label.to_owned());
+        self.entity_index.insert(label.to_owned(), id);
+        id
+    }
+
+    /// Interns a relation label, returning its id (existing or new).
+    pub fn intern_relation(&mut self, label: &str) -> RelationId {
+        if let Some(&id) = self.relation_index.get(label) {
+            return id;
+        }
+        let id = RelationId(self.relation_labels.len() as u32);
+        self.relation_labels.push(label.to_owned());
+        self.relation_index.insert(label.to_owned(), id);
+        id
+    }
+
+    /// Looks up an entity id by label without interning.
+    pub fn entity(&self, label: &str) -> Option<EntityId> {
+        self.entity_index.get(label).copied()
+    }
+
+    /// Looks up a relation id by label without interning.
+    pub fn relation(&self, label: &str) -> Option<RelationId> {
+        self.relation_index.get(label).copied()
+    }
+
+    /// The label of an entity id, if in range.
+    pub fn entity_label(&self, id: EntityId) -> Option<&str> {
+        self.entity_labels.get(id.index()).map(String::as_str)
+    }
+
+    /// The label of a relation id, if in range.
+    pub fn relation_label(&self, id: RelationId) -> Option<&str> {
+        self.relation_labels.get(id.index()).map(String::as_str)
+    }
+
+    /// Number of distinct entities.
+    pub fn num_entities(&self) -> usize {
+        self.entity_labels.len()
+    }
+
+    /// Number of distinct relation types.
+    pub fn num_relations(&self) -> usize {
+        self.relation_labels.len()
+    }
+
+    /// Rebuilds the label → id hash indexes. Needed after deserializing,
+    /// since the indexes are derived state and skipped by serde.
+    pub fn rebuild_indexes(&mut self) {
+        self.entity_index = self
+            .entity_labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (l.clone(), EntityId(i as u32)))
+            .collect();
+        self.relation_index = self
+            .relation_labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (l.clone(), RelationId(i as u32)))
+            .collect();
+    }
+
+    /// Builds a synthetic vocabulary `e0..eN`, `r0..rK` for generated graphs
+    /// that have no natural labels.
+    pub fn synthetic(num_entities: usize, num_relations: usize) -> Self {
+        let mut v = Vocabulary::new();
+        for i in 0..num_entities {
+            v.intern_entity(&format!("e{i}"));
+        }
+        for i in 0..num_relations {
+            v.intern_relation(&format!("r{i}"));
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let mut v = Vocabulary::new();
+        let a = v.intern_entity("alice");
+        let b = v.intern_entity("bob");
+        let a2 = v.intern_entity("alice");
+        assert_eq!(a, a2);
+        assert_eq!(a, EntityId(0));
+        assert_eq!(b, EntityId(1));
+        assert_eq!(v.num_entities(), 2);
+    }
+
+    #[test]
+    fn lookup_without_interning_does_not_grow() {
+        let mut v = Vocabulary::new();
+        v.intern_entity("x");
+        assert!(v.entity("missing").is_none());
+        assert_eq!(v.num_entities(), 1);
+    }
+
+    #[test]
+    fn labels_roundtrip() {
+        let mut v = Vocabulary::new();
+        let e = v.intern_entity("aspirin");
+        let r = v.intern_relation("treats");
+        assert_eq!(v.entity_label(e), Some("aspirin"));
+        assert_eq!(v.relation_label(r), Some("treats"));
+        assert_eq!(v.entity_label(EntityId(99)), None);
+    }
+
+    #[test]
+    fn synthetic_vocabulary_has_requested_shape() {
+        let v = Vocabulary::synthetic(5, 3);
+        assert_eq!(v.num_entities(), 5);
+        assert_eq!(v.num_relations(), 3);
+        assert_eq!(v.entity("e4"), Some(EntityId(4)));
+        assert_eq!(v.relation("r2"), Some(RelationId(2)));
+    }
+
+    #[test]
+    fn rebuild_indexes_restores_lookup() {
+        let v = Vocabulary::synthetic(3, 1);
+        let mut stripped = v.clone();
+        stripped.entity_index.clear();
+        stripped.relation_index.clear();
+        stripped.rebuild_indexes();
+        assert_eq!(stripped.entity("e2"), v.entity("e2"));
+        assert_eq!(stripped.relation("r0"), v.relation("r0"));
+    }
+}

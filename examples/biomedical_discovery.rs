@@ -1,0 +1,109 @@
+//! The paper's motivating scenario (§1): a biomedical researcher has a
+//! drug/protein/disease knowledge graph and wants to surface *new*
+//! relationships — without any specific query in mind.
+//!
+//! We generate a mid-sized synthetic biomedical-style KG (Zipf popularity:
+//! a few blockbuster drugs and well-studied proteins, a long tail of
+//! under-studied ones), train an embedding model, and run fact discovery
+//! restricted to a target relation, comparing two strategies. The example
+//! also demonstrates the long-tail limitation the paper's §6 discusses.
+//!
+//! ```text
+//! cargo run --release -p kgfd-harness --example biomedical_discovery
+//! ```
+
+use fact_discovery::{discover_facts, DiscoveryConfig, StrategyKind};
+use kgfd_datasets::{generate, DatasetProfile};
+use kgfd_embed::{train, ModelKind, TrainConfig};
+use kgfd_graph_stats::occurrence_degrees;
+
+fn main() {
+    // A biomedical-shaped profile: moderately dense, strong popularity skew
+    // (blockbuster drugs), communities ≈ disease areas.
+    let profile = DatasetProfile {
+        name: "synthetic-biomed".into(),
+        entities: 800,
+        relations: 6, // targets / associated_with / treats / interacts / coexpressed / biomarker_of
+        train_triples: 9_000,
+        valid_triples: 400,
+        test_triples: 400,
+        entity_skew: 1.0,
+        relation_skew: 0.4,
+        communities: 25,
+        intra_community: 0.75,
+        relation_spread: 0.4,
+        seed: 2024,
+    };
+    let data = generate(&profile).expect("profile is valid");
+    println!(
+        "synthetic biomedical KG: {} triples over {} entities\n",
+        data.train.len(),
+        data.train.num_entities()
+    );
+
+    let (model, _) = train(
+        ModelKind::ComplEx,
+        &data.train,
+        &TrainConfig {
+            dim: 32,
+            epochs: 25,
+            seed: 7,
+            ..TrainConfig::default()
+        },
+    );
+
+    // Discover facts for one relation ("treats"-like, relation 2).
+    let target = kgfd_kg::RelationId(2);
+    for strategy in [StrategyKind::UniformRandom, StrategyKind::EntityFrequency] {
+        let config = DiscoveryConfig {
+            strategy,
+            top_n: 100,
+            max_candidates: 300,
+            relations: Some(vec![target]),
+            seed: 1,
+            ..DiscoveryConfig::default()
+        };
+        let report = discover_facts(model.as_ref(), &data.train, &config);
+        println!(
+            "{strategy:<24} {} candidate facts, MRR {:.4}, {:.1} facts/s",
+            report.facts.len(),
+            report.mrr(),
+            report.facts_per_second()
+        );
+    }
+
+    // The long-tail problem (§6): which entities do the discovered facts
+    // touch? Frequency-weighted sampling concentrates on popular entities.
+    let degrees = occurrence_degrees(&data.train);
+    let median_degree = {
+        let mut d = degrees.clone();
+        d.sort_unstable();
+        d[d.len() / 2]
+    };
+    let config = DiscoveryConfig {
+        strategy: StrategyKind::EntityFrequency,
+        top_n: 100,
+        max_candidates: 300,
+        relations: Some(vec![target]),
+        seed: 1,
+        ..DiscoveryConfig::default()
+    };
+    let report = discover_facts(model.as_ref(), &data.train, &config);
+    let popular = report
+        .facts
+        .iter()
+        .filter(|f| {
+            degrees[f.triple.subject.index()] > median_degree
+                && degrees[f.triple.object.index()] > median_degree
+        })
+        .count();
+    println!(
+        "\nlong-tail check: {popular}/{} discovered facts connect two \
+         above-median-degree entities",
+        report.facts.len()
+    );
+    println!(
+        "(the paper's §6: popularity-driven sampling leaves long-tail \
+         entities — where discovery is needed most — unexplored)"
+    );
+}

@@ -1,0 +1,109 @@
+//! The paper's motivating arithmetic (§1): why exhaustive fact discovery is
+//! hopeless and sampling is necessary.
+//!
+//! For each dataset profile this example computes the complement-graph size
+//! `|E|² × |R| − |G|`, *measures* the model's actual scoring throughput, and
+//! extrapolates how long exhaustive inference would take — then runs the
+//! sampling-based algorithm and reports its measured runtime on the same
+//! model for contrast. (For the real YAGO3-10 the paper estimates thousands
+//! of years.)
+//!
+//! ```text
+//! cargo run --release -p kgfd-harness --example exhaustive_vs_sampling
+//! ```
+
+use fact_discovery::{discover_facts, DiscoveryConfig, StrategyKind};
+use kgfd_embed::ModelKind;
+use kgfd_harness::{trained_model, DatasetRef, Scale, TextTable};
+use kgfd_kg::{EntityId, RelationId};
+use std::time::Instant;
+
+fn main() {
+    // Paper §1 headline number: YAGO3-10's complement.
+    let yago_full = kgfd_kg::TripleStore::new(123_182, 37, vec![]).unwrap();
+    println!(
+        "YAGO3-10 at full size: complement = {:.0e} candidate triples (paper: ~533 × 10⁹)\n",
+        yago_full.complement_size() as f64
+    );
+
+    let scale = Scale::Mini;
+    let mut table = TextTable::new([
+        "dataset",
+        "complement",
+        "score µs/1k",
+        "exhaustive score",
+        "exhaustive rank",
+        "sampling measured",
+        "facts",
+    ]);
+    for dataset in DatasetRef::ALL {
+        let data = dataset.load(scale);
+        let model = trained_model(dataset, ModelKind::DistMult, scale, &data);
+
+        // Measure batched scoring throughput: one score_objects call scores
+        // N candidates.
+        let n = data.train.num_entities();
+        let mut out = vec![0.0f32; n];
+        let reps = 200;
+        let t0 = Instant::now();
+        for i in 0..reps {
+            model.score_objects(
+                EntityId((i % n) as u32),
+                RelationId((i % data.train.num_relations()) as u32),
+                &mut out,
+            );
+        }
+        let per_candidate = t0.elapsed().as_secs_f64() / (reps * n) as f64;
+
+        // Exhaustive scoring = score every complement triple once.
+        // Exhaustive *ranking* (what the discovery algorithm actually does
+        // per candidate, both corruption sides) multiplies that by 2N.
+        let complement = data.train.complement_size() as f64;
+        let exhaustive_s = complement * per_candidate;
+        let exhaustive_rank_s = exhaustive_s * 2.0 * n as f64;
+
+        let t1 = Instant::now();
+        let report = discover_facts(
+            model.as_ref(),
+            &data.train,
+            &DiscoveryConfig {
+                strategy: StrategyKind::EntityFrequency,
+                top_n: 50,
+                max_candidates: 100,
+                seed: 1,
+                ..DiscoveryConfig::default()
+            },
+        );
+        let sampling_s = t1.elapsed().as_secs_f64();
+
+        table.row([
+            data.name.clone(),
+            format!("{:.2e}", complement),
+            format!("{:.1}", per_candidate * 1e6 * 1e3),
+            human_time(exhaustive_s),
+            human_time(exhaustive_rank_s),
+            human_time(sampling_s),
+            report.facts.len().to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "applying the discovery algorithm's per-candidate corruption ranking \
+         to the full complement ('exhaustive rank') is already intractable \
+         at mini scale; complement size grows with |E|²·|R| while the \
+         sampling pipeline's cost stays fixed — at paper scale, with \
+         seconds-per-call KGE serving (§1), it becomes thousands of years."
+    );
+}
+
+fn human_time(secs: f64) -> String {
+    if secs < 60.0 {
+        format!("{secs:.2} s")
+    } else if secs < 3600.0 {
+        format!("{:.1} min", secs / 60.0)
+    } else if secs < 86400.0 {
+        format!("{:.1} h", secs / 3600.0)
+    } else {
+        format!("{:.1} days", secs / 86400.0)
+    }
+}

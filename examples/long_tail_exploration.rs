@@ -1,0 +1,74 @@
+//! The exploration-vs-exploitation trade-off the paper's §6 calls for.
+//!
+//! Popularity-weighted sampling (the paper's winning strategies) mines
+//! facts among entities that are already well-connected; the long tail —
+//! where discovery is most *needed* — is never sampled. This example sweeps
+//! the `exploration_epsilon` dial on a skewed synthetic graph and prints
+//! how tail coverage, fact count, and MRR move.
+//!
+//! ```text
+//! cargo run --release -p kgfd-harness --example long_tail_exploration
+//! ```
+
+use fact_discovery::{discover_facts, DiscoveryConfig, StrategyKind};
+use kgfd_embed::ModelKind;
+use kgfd_graph_stats::occurrence_degrees;
+use kgfd_harness::{trained_model, DatasetRef, Scale, TextTable};
+
+fn main() {
+    let dataset = DatasetRef::Fb15k237;
+    let scale = Scale::Mini;
+    let data = dataset.load(scale);
+    let model = trained_model(dataset, ModelKind::ComplEx, scale, &data);
+
+    let degrees = occurrence_degrees(&data.train);
+    let mut sorted: Vec<u64> = degrees.iter().copied().filter(|&d| d > 0).collect();
+    sorted.sort_unstable();
+    let median = sorted[sorted.len() / 2];
+    println!(
+        "graph: {} triples, {} entities (median degree {median})\n",
+        data.train.len(),
+        data.train.num_entities()
+    );
+
+    let mut table = TextTable::new(["ε", "facts", "touches tail %", "distinct tail entities", "MRR"]);
+    for &epsilon in &[0.0, 0.1, 0.25, 0.5, 0.75, 1.0] {
+        let config = DiscoveryConfig {
+            strategy: StrategyKind::EntityFrequency,
+            top_n: 50,
+            max_candidates: 100,
+            exploration_epsilon: epsilon,
+            seed: 21,
+            ..DiscoveryConfig::default()
+        };
+        let report = discover_facts(model.as_ref(), &data.train, &config);
+        let total = report.facts.len().max(1);
+        let mut tail_entities = std::collections::HashSet::new();
+        let mut tail_touching = 0usize;
+        for f in &report.facts {
+            let mut touches = false;
+            for e in [f.triple.subject, f.triple.object] {
+                if degrees[e.index()] <= median {
+                    tail_entities.insert(e);
+                    touches = true;
+                }
+            }
+            if touches {
+                tail_touching += 1;
+            }
+        }
+        table.row([
+            format!("{epsilon:.2}"),
+            report.facts.len().to_string(),
+            format!("{:.1}", 100.0 * tail_touching as f64 / total as f64),
+            tail_entities.len().to_string(),
+            format!("{:.4}", report.mrr()),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "ε = 0 is the paper's behaviour (pure exploitation); raising ε trades \
+         fact quality for coverage of under-served entities — the open \
+         direction of the paper's §6."
+    );
+}

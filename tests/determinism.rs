@@ -1,0 +1,120 @@
+//! Whole-pipeline determinism: a fixed seed must yield bit-identical
+//! datasets, models, evaluation metrics, and discovered facts — across
+//! in-memory reruns and across model save/load.
+
+use fact_discovery::{discover_facts, DiscoveryConfig, StrategyKind};
+use kgfd_datasets::{generate, mini, wn18rr_like};
+use kgfd_embed::{load_model, save_model, train, ModelKind, TrainConfig};
+use kgfd_eval::evaluate_ranking;
+
+fn pipeline_facts(seed: u64) -> Vec<(u32, u32, u32, f64)> {
+    let data = generate(&mini(&wn18rr_like())).unwrap();
+    let (model, _) = train(
+        ModelKind::DistMult,
+        &data.train,
+        &TrainConfig {
+            dim: 16,
+            epochs: 10,
+            seed,
+            ..TrainConfig::default()
+        },
+    );
+    let report = discover_facts(
+        model.as_ref(),
+        &data.train,
+        &DiscoveryConfig {
+            strategy: StrategyKind::GraphDegree,
+            top_n: 20,
+            max_candidates: 40,
+            seed,
+            threads: 4,
+            ..DiscoveryConfig::default()
+        },
+    );
+    report
+        .facts
+        .iter()
+        .map(|f| {
+            (
+                f.triple.subject.0,
+                f.triple.relation.0,
+                f.triple.object.0,
+                f.rank,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn identical_seeds_give_identical_discoveries() {
+    assert_eq!(pipeline_facts(11), pipeline_facts(11));
+}
+
+#[test]
+fn different_seeds_give_different_discoveries() {
+    assert_ne!(pipeline_facts(11), pipeline_facts(12));
+}
+
+#[test]
+fn persistence_preserves_evaluation_and_discovery() {
+    let data = generate(&mini(&wn18rr_like())).unwrap();
+    let (model, _) = train(
+        ModelKind::ComplEx,
+        &data.train,
+        &TrainConfig {
+            dim: 16,
+            epochs: 8,
+            seed: 2,
+            ..TrainConfig::default()
+        },
+    );
+    let reloaded = load_model(&save_model(model.as_ref())).unwrap();
+
+    let known = data.known_triples();
+    let a = evaluate_ranking(model.as_ref(), &data.test, Some(&known), 2);
+    let b = evaluate_ranking(reloaded.as_ref(), &data.test, Some(&known), 2);
+    assert_eq!(a.mrr, b.mrr);
+    assert_eq!(a.hits10, b.hits10);
+
+    let cfg = DiscoveryConfig {
+        strategy: StrategyKind::EntityFrequency,
+        top_n: 20,
+        max_candidates: 40,
+        seed: 9,
+        ..DiscoveryConfig::default()
+    };
+    let ra = discover_facts(model.as_ref(), &data.train, &cfg);
+    let rb = discover_facts(reloaded.as_ref(), &data.train, &cfg);
+    assert_eq!(ra.facts, rb.facts);
+}
+
+#[test]
+fn thread_count_does_not_change_results() {
+    let data = generate(&mini(&wn18rr_like())).unwrap();
+    let (model, _) = train(
+        ModelKind::TransE,
+        &data.train,
+        &TrainConfig {
+            dim: 16,
+            epochs: 8,
+            seed: 4,
+            ..TrainConfig::default()
+        },
+    );
+    let run = |threads: usize| {
+        discover_facts(
+            model.as_ref(),
+            &data.train,
+            &DiscoveryConfig {
+                strategy: StrategyKind::ClusteringTriangles,
+                top_n: 20,
+                max_candidates: 40,
+                seed: 3,
+                threads,
+                ..DiscoveryConfig::default()
+            },
+        )
+        .facts
+    };
+    assert_eq!(run(1), run(8));
+}

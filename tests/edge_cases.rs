@@ -1,0 +1,193 @@
+//! Cross-crate edge cases: degenerate graphs, extreme configurations, and
+//! boundary parameters that must not panic or silently misbehave.
+
+use fact_discovery::{discover_facts, DiscoveryConfig, StrategyKind};
+use kgfd_embed::{new_model, train, ModelKind, TrainConfig};
+use kgfd_eval::{evaluate_ranking, rank_all};
+use kgfd_kg::{KnownTriples, RelationId, Triple, TripleStore};
+
+fn tiny_store() -> TripleStore {
+    TripleStore::new(
+        3,
+        2,
+        vec![Triple::new(0u32, 0u32, 1u32), Triple::new(1u32, 0u32, 2u32)],
+    )
+    .unwrap()
+}
+
+#[test]
+fn discovery_on_empty_graph_finds_nothing() {
+    let store = TripleStore::new(4, 2, vec![]).unwrap();
+    let model = new_model(ModelKind::DistMult, 4, 2, 8, 0);
+    let report = discover_facts(model.as_ref(), &store, &DiscoveryConfig::default());
+    assert!(report.facts.is_empty());
+    assert!(report.per_relation.is_empty(), "no used relations");
+}
+
+#[test]
+fn discovery_with_unused_relation_yields_empty_breakdown() {
+    let store = tiny_store(); // relation 1 is unused
+    let model = new_model(ModelKind::TransE, 3, 2, 8, 0);
+    let config = DiscoveryConfig {
+        relations: Some(vec![RelationId(1)]),
+        top_n: 3,
+        max_candidates: 10,
+        ..DiscoveryConfig::default()
+    };
+    let report = discover_facts(model.as_ref(), &store, &config);
+    assert_eq!(report.per_relation.len(), 1);
+    assert_eq!(report.per_relation[0].candidates, 0);
+    assert!(report.facts.is_empty());
+}
+
+#[test]
+fn discovery_exhausts_small_candidate_spaces() {
+    // Relation 0's pool: subjects {0, 1}, objects {1, 2} → 4 possible
+    // candidates, 2 already in the graph → at most 2 discoverable.
+    let store = tiny_store();
+    let model = new_model(ModelKind::DistMult, 3, 2, 8, 0);
+    let config = DiscoveryConfig {
+        relations: Some(vec![RelationId(0)]),
+        top_n: usize::MAX >> 1,
+        max_candidates: 1000, // far more than the space holds
+        ..DiscoveryConfig::default()
+    };
+    let report = discover_facts(model.as_ref(), &store, &config);
+    assert!(report.facts.len() <= 2, "{:?}", report.facts);
+    assert!(
+        report.per_relation[0].iterations <= 5,
+        "iteration cap must hold even when the budget is unreachable"
+    );
+}
+
+#[test]
+fn zero_max_candidates_is_a_noop() {
+    let store = tiny_store();
+    let model = new_model(ModelKind::DistMult, 3, 2, 8, 0);
+    let config = DiscoveryConfig {
+        max_candidates: 0,
+        ..DiscoveryConfig::default()
+    };
+    let report = discover_facts(model.as_ref(), &store, &config);
+    assert!(report.facts.is_empty());
+}
+
+#[test]
+fn training_zero_epochs_returns_initialized_model() {
+    let store = tiny_store();
+    let config = TrainConfig {
+        epochs: 0,
+        dim: 8,
+        seed: 3,
+        ..TrainConfig::default()
+    };
+    let (model, stats) = train(ModelKind::ComplEx, &store, &config);
+    assert!(stats.epoch_losses.is_empty());
+    assert!(stats.final_loss().is_nan());
+    let fresh = new_model(ModelKind::ComplEx, 3, 2, 8, 3);
+    assert_eq!(model.params(), fresh.params());
+}
+
+#[test]
+fn training_with_batch_larger_than_dataset() {
+    let store = tiny_store();
+    let config = TrainConfig {
+        epochs: 3,
+        dim: 8,
+        batch_size: 10_000,
+        seed: 1,
+        ..TrainConfig::default()
+    };
+    let (_, stats) = train(ModelKind::TransE, &store, &config);
+    assert_eq!(stats.epoch_losses.len(), 3);
+    assert!(stats.final_loss().is_finite());
+}
+
+#[test]
+fn ranking_on_single_entity_pair_graph() {
+    // Two entities: every rank is in {1, 1.5, 2}.
+    let store = TripleStore::new(2, 1, vec![Triple::new(0u32, 0u32, 1u32)]).unwrap();
+    let model = new_model(ModelKind::DistMult, 2, 1, 8, 0);
+    let known = KnownTriples::from_slices([store.triples()]);
+    let ranks = rank_all(model.as_ref(), store.triples(), Some(&known), 1);
+    assert_eq!(ranks.len(), 1);
+    assert!(ranks[0].subject >= 1.0 && ranks[0].subject <= 2.0);
+}
+
+#[test]
+fn evaluation_of_empty_test_set() {
+    let model = new_model(ModelKind::TransE, 3, 2, 8, 0);
+    let summary = evaluate_ranking(model.as_ref(), &[], None, 4);
+    assert_eq!(summary.count, 0);
+    assert_eq!(summary.mrr, 0.0);
+}
+
+#[test]
+fn every_strategy_handles_triangle_free_graphs() {
+    // A path graph has no triangles and no squares: triangle/coefficient/
+    // squares weights are all zero and must fall back to uniform.
+    let store = TripleStore::new(
+        4,
+        1,
+        vec![
+            Triple::new(0u32, 0u32, 1u32),
+            Triple::new(1u32, 0u32, 2u32),
+            Triple::new(2u32, 0u32, 3u32),
+        ],
+    )
+    .unwrap();
+    let model = new_model(ModelKind::DistMult, 4, 1, 8, 2);
+    for strategy in StrategyKind::ALL {
+        let config = DiscoveryConfig {
+            strategy,
+            top_n: 4,
+            max_candidates: 8,
+            ..DiscoveryConfig::default()
+        };
+        let report = discover_facts(model.as_ref(), &store, &config);
+        assert!(
+            report.candidates_generated() > 0,
+            "{strategy} must fall back to uniform on degenerate measures"
+        );
+    }
+}
+
+#[test]
+fn single_relation_discovery_matches_filtered_full_run() {
+    // Restricting to one relation must give the same facts as filtering the
+    // full run to that relation (per-relation RNG streams are independent).
+    let data = kgfd_datasets::toy_biomedical();
+    let (model, _) = train(
+        ModelKind::DistMult,
+        &data.train,
+        &TrainConfig {
+            dim: 16,
+            epochs: 10,
+            seed: 4,
+            ..TrainConfig::default()
+        },
+    );
+    let treats = data.vocab.relation("treats").unwrap();
+    let base = DiscoveryConfig {
+        top_n: 10,
+        max_candidates: 30,
+        seed: 6,
+        ..DiscoveryConfig::default()
+    };
+    let full = discover_facts(model.as_ref(), &data.train, &base);
+    let only = discover_facts(
+        model.as_ref(),
+        &data.train,
+        &DiscoveryConfig {
+            relations: Some(vec![treats]),
+            ..base
+        },
+    );
+    let full_treats: Vec<_> = full
+        .facts
+        .iter()
+        .filter(|f| f.triple.relation == treats)
+        .collect();
+    let only_facts: Vec<_> = only.facts.iter().collect();
+    assert_eq!(full_treats, only_facts);
+}
