@@ -60,7 +60,13 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     for (name, config) in variants {
         group.bench_function(name, |b| {
-            b.iter(|| black_box(discover_facts(model.as_ref(), &data.train, &config).facts.len()))
+            b.iter(|| {
+                black_box(
+                    discover_facts(model.as_ref(), &data.train, &config)
+                        .facts
+                        .len(),
+                )
+            })
         });
     }
     group.finish();

@@ -21,7 +21,13 @@ fn bench(c: &mut Criterion) {
             ..DiscoveryConfig::default()
         };
         group.bench_function(strategy.abbrev(), |b| {
-            b.iter(|| black_box(discover_facts(model.as_ref(), &data.train, &config).facts.len()))
+            b.iter(|| {
+                black_box(
+                    discover_facts(model.as_ref(), &data.train, &config)
+                        .facts
+                        .len(),
+                )
+            })
         });
     }
     group.finish();

@@ -30,10 +30,7 @@ fn bench(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("fig6_efficiency_pipeline");
     group.sample_size(10);
-    for strategy in [
-        StrategyKind::ClusteringTriangles,
-        StrategyKind::GraphDegree,
-    ] {
+    for strategy in [StrategyKind::ClusteringTriangles, StrategyKind::GraphDegree] {
         let config = DiscoveryConfig {
             strategy,
             top_n: 50,

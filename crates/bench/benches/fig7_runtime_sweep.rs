@@ -28,7 +28,11 @@ fn bench(c: &mut Criterion) {
                 BenchmarkId::from_parameter(format!("mc{max_candidates}_top{top_n}")),
                 |b| {
                     b.iter(|| {
-                        black_box(discover_facts(model.as_ref(), &data.train, &config).facts.len())
+                        black_box(
+                            discover_facts(model.as_ref(), &data.train, &config)
+                                .facts
+                                .len(),
+                        )
                     })
                 },
             );

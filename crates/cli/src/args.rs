@@ -170,6 +170,9 @@ mod tests {
     #[test]
     fn required_reports_missing() {
         let a = parse("x").unwrap();
-        assert_eq!(a.required("train").unwrap_err(), ArgError::Missing("train".into()));
+        assert_eq!(
+            a.required("train").unwrap_err(),
+            ArgError::Missing("train".into())
+        );
     }
 }

@@ -10,7 +10,9 @@ use kgfd_datasets::{
 use kgfd_embed::{
     load_model, save_model, train, KgeModel, LossKind, ModelKind, OptimizerKind, TrainConfig,
 };
-use kgfd_eval::{evaluate_per_relation, evaluate_ranking, train_with_early_stopping, EarlyStopping};
+use kgfd_eval::{
+    evaluate_per_relation, evaluate_ranking, train_with_early_stopping, EarlyStopping,
+};
 use kgfd_graph_stats::{
     connected_components, global_transitivity, local_triangle_counts, GraphSummary,
     UndirectedAdjacency,
@@ -21,6 +23,8 @@ use kgfd_kg::{
 use std::error::Error;
 use std::fs::File;
 use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
 
 type CmdResult = Result<String, Box<dyn Error>>;
 
@@ -58,10 +62,60 @@ COMMANDS:
             (--subject <LABEL> | --object <LABEL>) [--top 10]
             answer a link-prediction query: rank completions of one side
   help      this text
+
+OBSERVABILITY (any command):
+  --metrics-out <FILE>  write structured JSONL events (spans, metrics, and a
+                        closing run manifest) to FILE
+  --progress            human-readable progress lines on stderr (rate-limited)
+  --quiet               suppress all stderr output (warnings included)
 ";
+
+/// Installs the observer the `--metrics-out` / `--progress` / `--quiet`
+/// flags ask for; the guard restores the previous observer when dropped.
+fn install_observer(args: &Args) -> Result<kgfd_obs::ScopedObserver, Box<dyn Error>> {
+    let stderr: Option<Arc<dyn kgfd_obs::Observer>> = if args.flag("quiet") {
+        None
+    } else if args.flag("progress") {
+        Some(Arc::new(kgfd_obs::StderrProgress::new()))
+    } else {
+        Some(Arc::new(kgfd_obs::StderrProgress::warnings_only()))
+    };
+    let sink: Option<Arc<dyn kgfd_obs::Observer>> = match args.get("metrics-out") {
+        Some(path) => Some(Arc::new(
+            kgfd_obs::JsonlSink::create(path).map_err(|e| format!("cannot create {path}: {e}"))?,
+        )),
+        // A bare trailing `--metrics-out` parses as a flag; reject it rather
+        // than silently dropping the sink.
+        None if args.flag("metrics-out") => {
+            return Err("--metrics-out needs a file argument".into())
+        }
+        None => None,
+    };
+    let observers: Vec<Arc<dyn kgfd_obs::Observer>> = stderr.into_iter().chain(sink).collect();
+    let observer: Arc<dyn kgfd_obs::Observer> = match observers.len() {
+        0 => Arc::new(kgfd_obs::NullObserver),
+        1 => observers.into_iter().next().expect("one observer"),
+        _ => Arc::new(kgfd_obs::Fanout::new(observers)),
+    };
+    Ok(kgfd_obs::scoped(observer))
+}
+
+/// The dataset shape of a training graph, for run manifests.
+fn dataset_shape(store: &TripleStore) -> kgfd_obs::DatasetShape {
+    kgfd_obs::DatasetShape {
+        entities: store.num_entities() as u64,
+        relations: store.num_relations() as u64,
+        triples: store.len() as u64,
+    }
+}
 
 /// Dispatches a parsed command line.
 pub fn run(args: &Args) -> CmdResult {
+    let _observer = install_observer(args)?;
+    dispatch(args)
+}
+
+fn dispatch(args: &Args) -> CmdResult {
     match args.command.as_deref() {
         Some("generate") => cmd_generate(args),
         Some("stats") => cmd_stats(args),
@@ -93,9 +147,9 @@ fn load_with_vocab(path: &str, vocab: &Vocabulary) -> Result<Vec<Triple>, Box<dy
         .map(|t| {
             let lookup_e = |id| -> Result<_, Box<dyn Error>> {
                 let label = scratch.entity_label(id).expect("interned");
-                vocab.entity(label).ok_or_else(|| {
-                    format!("{path}: entity {label:?} not in training graph").into()
-                })
+                vocab
+                    .entity(label)
+                    .ok_or_else(|| format!("{path}: entity {label:?} not in training graph").into())
             };
             let s = lookup_e(t.subject)?;
             let o = lookup_e(t.object)?;
@@ -229,7 +283,18 @@ fn cmd_stats(args: &Args) -> CmdResult {
     ))
 }
 
+/// Renders a loss value for reports: `NaN` (a zero-epoch run) becomes
+/// `"n/a"` instead of leaking NaN into text or JSON output.
+fn render_loss(loss: f64) -> String {
+    if loss.is_finite() {
+        format!("{loss:.4}")
+    } else {
+        "n/a".to_string()
+    }
+}
+
 fn cmd_train(args: &Args) -> CmdResult {
+    let start = Instant::now();
     let (vocab, triples) = load_graph(args.required("train")?)?;
     let store = store_of(&vocab, triples)?;
     let kind = parse_model(args.required("model")?)?;
@@ -260,34 +325,59 @@ fn cmd_train(args: &Args) -> CmdResult {
         seed: args.parse_or("seed", 0, "integer")?,
     };
 
-    let (model, summary): (Box<dyn KgeModel>, String) = if args.flag("early-stop") {
-        let valid_path = args
-            .get("valid")
-            .ok_or_else(|| ArgError::Missing("valid".into()))?;
-        let valid = load_with_vocab(valid_path, &vocab)?;
-        let (model, stats) =
-            train_with_early_stopping(kind, &store, &valid, &config, EarlyStopping::default());
-        (
-            model,
-            format!(
-                "early stopping: best valid MRR {:.4} after {} epochs",
-                stats.best_mrr, stats.epochs_trained
-            ),
-        )
-    } else {
-        let (model, stats) = train(kind, &store, &config);
-        (
-            model,
-            format!(
-                "final training loss {:.4} over {} epochs",
-                stats.final_loss(),
-                config.epochs
-            ),
-        )
-    };
+    let (model, summary, final_loss): (Box<dyn KgeModel>, String, Option<f64>) =
+        if args.flag("early-stop") {
+            let valid_path = args
+                .get("valid")
+                .ok_or_else(|| ArgError::Missing("valid".into()))?;
+            let valid = load_with_vocab(valid_path, &vocab)?;
+            let (model, stats) =
+                train_with_early_stopping(kind, &store, &valid, &config, EarlyStopping::default());
+            (
+                model,
+                format!(
+                    "early stopping: best valid MRR {:.4} after {} epochs",
+                    stats.best_mrr, stats.epochs_trained
+                ),
+                None,
+            )
+        } else {
+            let (model, stats) = train(kind, &store, &config);
+            let loss = stats.final_loss();
+            (
+                model,
+                format!(
+                    "final training loss {} over {} epochs",
+                    render_loss(loss),
+                    config.epochs
+                ),
+                Some(loss),
+            )
+        };
 
     let out = args.required("out")?;
     std::fs::write(out, save_model(model.as_ref()))?;
+
+    let mut manifest = kgfd_obs::RunManifest::new("train");
+    manifest.model = kind.to_string();
+    manifest.seed = config.seed;
+    manifest.dataset = dataset_shape(&store);
+    manifest.wall_clock_s = start.elapsed().as_secs_f64();
+    manifest = manifest
+        .with_config("dim", config.dim)
+        .with_config("epochs", config.epochs)
+        .with_config("batch_size", config.batch_size)
+        .with_config("negatives", config.negatives);
+    if let Some(loss) = final_loss {
+        // NaN (zero-epoch run) is reported as text, never NaN-in-JSON.
+        manifest = if loss.is_finite() {
+            manifest.with_config("final_loss", loss)
+        } else {
+            manifest.with_config("final_loss", render_loss(loss))
+        };
+    }
+    manifest.emit();
+
     Ok(format!(
         "trained {kind} (dim {}, {} parameters) on {} triples\n{summary}\nsaved to {out}",
         config.dim,
@@ -319,6 +409,7 @@ fn check_model_matches(model: &dyn KgeModel, store: &TripleStore) -> Result<(), 
 }
 
 fn cmd_eval(args: &Args) -> CmdResult {
+    let start = Instant::now();
     let (vocab, triples) = load_graph(args.required("train")?)?;
     let store = store_of(&vocab, triples)?;
     let test = load_with_vocab(args.required("test")?, &vocab)?;
@@ -329,8 +420,7 @@ fn cmd_eval(args: &Args) -> CmdResult {
     let model = load_model_file(args.required("model-file")?)?;
     check_model_matches(model.as_ref(), &store)?;
 
-    let known =
-        kgfd_kg::KnownTriples::from_slices([store.triples(), &valid[..], &test[..]]);
+    let known = kgfd_kg::KnownTriples::from_slices([store.triples(), &valid[..], &test[..]]);
     let summary = evaluate_ranking(model.as_ref(), &test, Some(&known), 4);
     let mut out = format!(
         "filtered link prediction on {} test triples ({}):\n{summary}",
@@ -347,6 +437,16 @@ fn cmd_eval(args: &Args) -> CmdResult {
             ));
         }
     }
+
+    let mut manifest = kgfd_obs::RunManifest::new("eval");
+    manifest.model = model.kind().to_string();
+    manifest.dataset = dataset_shape(&store);
+    manifest.wall_clock_s = start.elapsed().as_secs_f64();
+    manifest
+        .with_config("test_triples", test.len())
+        .with_config("mrr", summary.mrr)
+        .emit();
+
     Ok(out)
 }
 
@@ -360,6 +460,7 @@ fn cmd_fit(args: &Args) -> CmdResult {
 }
 
 fn cmd_discover(args: &Args) -> CmdResult {
+    let start = Instant::now();
     let (vocab, triples) = load_graph(args.required("train")?)?;
     let store = store_of(&vocab, triples)?;
     let model = load_model_file(args.required("model-file")?)?;
@@ -415,8 +516,7 @@ fn cmd_discover(args: &Args) -> CmdResult {
     }
     if let Some(heldout_path) = args.get("heldout") {
         let held_out = load_with_vocab(heldout_path, &vocab)?;
-        let fact_triples: Vec<kgfd_kg::Triple> =
-            report.facts.iter().map(|f| f.triple).collect();
+        let fact_triples: Vec<kgfd_kg::Triple> = report.facts.iter().map(|f| f.triple).collect();
         let h = kgfd_eval::score_against_held_out(&fact_triples, &held_out, &store);
         result.push_str(&format!(
             "held-out check: {}/{} truths rediscovered (recall {:.3}, \
@@ -431,6 +531,22 @@ fn cmd_discover(args: &Args) -> CmdResult {
             result.push_str(&lines);
         }
     }
+
+    let mut manifest = kgfd_obs::RunManifest::new("discover");
+    manifest.strategy = config.strategy.to_string();
+    manifest.model = model.kind().to_string();
+    manifest.seed = config.seed;
+    manifest.dataset = dataset_shape(&store);
+    manifest.wall_clock_s = start.elapsed().as_secs_f64();
+    manifest
+        .with_config("top_n", config.top_n)
+        .with_config("max_candidates", config.max_candidates)
+        .with_config("exploration_epsilon", config.exploration_epsilon)
+        .with_config("consolidate_sides", config.consolidate_sides)
+        .with_config("prune_with_rules", config.prune_with_rules)
+        .with_config("facts", report.facts.len())
+        .emit();
+
     Ok(result)
 }
 
@@ -488,7 +604,10 @@ fn cmd_audit_inverse(args: &Args) -> CmdResult {
     if pairs.is_empty() {
         return Ok(format!("no inverse pairs at threshold {threshold}"));
     }
-    let mut out = format!("{} (near-)inverse pairs at threshold {threshold}:\n", pairs.len());
+    let mut out = format!(
+        "{} (near-)inverse pairs at threshold {threshold}:\n",
+        pairs.len()
+    );
     for p in pairs {
         let kind = if p.relation == p.inverse {
             "symmetric"

@@ -124,7 +124,10 @@ fn discover_scores_against_heldout() {
 fn fit_emits_a_valid_profile() {
     let dir = tempdir("fit");
     let d = dir.display();
-    run(&args(&format!("generate --profile fb15k237 --scale mini --out {d}"))).unwrap();
+    run(&args(&format!(
+        "generate --profile fb15k237 --scale mini --out {d}"
+    )))
+    .unwrap();
     let out = run(&args(&format!("fit --train {d}/train.tsv --name refit"))).unwrap();
     let profile: serde_json::Value = serde_json::from_str(&out).unwrap();
     assert_eq!(profile["name"], "refit");
@@ -170,7 +173,10 @@ fn complete_ranks_entities_for_a_query() {
         model.display()
     )))
     .unwrap();
-    assert!(out.contains("top 3 completions of (drug0, treats, ?)"), "{out}");
+    assert!(
+        out.contains("top 3 completions of (drug0, treats, ?)"),
+        "{out}"
+    );
     assert_eq!(out.lines().count(), 4, "{out}");
     // Requiring both or neither side is an error.
     let err = run(&args(&format!(

@@ -10,17 +10,16 @@
 //! returned as facts.
 
 use crate::{
-    compute_weights, AliasSampler, CandidateRules, DiscoveredFact, DiscoveryReport,
-    RelationBreakdown, Measures, StrategyKind,
+    compute_weights, AliasSampler, CandidateRules, DiscoveredFact, DiscoveryReport, Measures,
+    RelationBreakdown, StrategyKind,
 };
-use kgfd_kg::SideIndex;
 use kgfd_embed::KgeModel;
 use kgfd_eval::rank_all;
+use kgfd_kg::SideIndex;
 use kgfd_kg::{EntityId, KnownTriples, RelationId, Triple, TripleStore};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashSet;
-use std::time::Instant;
 
 /// Configuration of one discovery run (the inputs of Algorithm 1).
 #[derive(Debug, Clone)]
@@ -87,9 +86,12 @@ pub fn discover_facts(
     store: &TripleStore,
     config: &DiscoveryConfig,
 ) -> DiscoveryReport {
-    let run_start = Instant::now();
+    let total_span = kgfd_obs::span!("discover.total", strategy = config.strategy.to_string());
 
-    let prep_start = Instant::now();
+    let prep_span = kgfd_obs::span!(
+        "discover.preparation",
+        strategy = config.strategy.to_string()
+    );
     let measures = Measures::compute(config.strategy, store);
     let known = KnownTriples::from_slices([store.triples()]);
     let rules = config
@@ -101,7 +103,7 @@ pub fn discover_facts(
             global_side_index(store, kgfd_kg::Side::Object),
         )
     });
-    let preparation = prep_start.elapsed();
+    let preparation = prep_span.finish();
 
     let relations = config
         .relations
@@ -125,7 +127,7 @@ pub fn discover_facts(
                 .wrapping_add((r.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
         );
 
-        let gen_start = Instant::now();
+        let gen_span = kgfd_obs::span!("discover.generation", relation = r.0);
         let (subject_pool, object_pool) = match &consolidated {
             Some((s_pool, o_pool)) => (s_pool, o_pool),
             None => (store.subject_index(r), store.object_index(r)),
@@ -137,7 +139,7 @@ pub fn discover_facts(
                 facts: 0,
                 pruned: 0,
                 iterations: 0,
-                generation: gen_start.elapsed(),
+                generation: gen_span.finish(),
                 evaluation: std::time::Duration::ZERO,
             });
             continue;
@@ -187,11 +189,13 @@ pub fn discover_facts(
                 }
             }
         }
-        let gen_elapsed = gen_start.elapsed();
+        let gen_elapsed = gen_span.finish();
         generation += gen_elapsed;
+        kgfd_obs::counter("discover.generation.candidates").add(local.len() as u64);
+        kgfd_obs::counter("discover.generation.pruned").add(pruned as u64);
 
         // Lines 14–15: rank candidates, keep those within top_n.
-        let eval_start = Instant::now();
+        let eval_span = kgfd_obs::span!("discover.evaluation", relation = r.0);
         let ranks = rank_all(model, &local, Some(&known), config.threads);
         let mut kept = 0usize;
         for (t, r2) in local.iter().zip(&ranks) {
@@ -207,8 +211,9 @@ pub fn discover_facts(
             kept += 1;
             facts.push(DiscoveredFact { triple: *t, rank });
         }
-        let eval_elapsed = eval_start.elapsed();
+        let eval_elapsed = eval_span.finish();
         evaluation += eval_elapsed;
+        kgfd_obs::counter("discover.evaluation.facts").add(kept as u64);
 
         per_relation.push(RelationBreakdown {
             relation: r,
@@ -230,7 +235,7 @@ pub fn discover_facts(
         preparation,
         generation,
         evaluation,
-        total: run_start.elapsed(),
+        total: total_span.finish(),
     }
 }
 
@@ -300,6 +305,23 @@ mod tests {
                 assert!(fact.rank >= 1.0);
             }
         }
+    }
+
+    #[test]
+    fn span_derived_phase_durations_fit_inside_the_total() {
+        let (data, model) = trained_toy();
+        let report = discover_facts(
+            model.as_ref(),
+            &data.train,
+            &quick_config(StrategyKind::UniformRandom),
+        );
+        assert!(report.preparation + report.generation + report.evaluation <= report.total);
+        let per_rel_gen: std::time::Duration =
+            report.per_relation.iter().map(|r| r.generation).sum();
+        let per_rel_eval: std::time::Duration =
+            report.per_relation.iter().map(|r| r.evaluation).sum();
+        assert_eq!(per_rel_gen, report.generation);
+        assert_eq!(per_rel_eval, report.evaluation);
     }
 
     #[test]
@@ -470,10 +492,7 @@ mod tests {
         cfg.top_n = 16;
         let report = discover_facts(model.as_ref(), &data.train, &cfg);
         let held_out: Vec<Triple> = data.valid.iter().chain(&data.test).copied().collect();
-        let hit = report
-            .facts
-            .iter()
-            .any(|f| held_out.contains(&f.triple));
+        let hit = report.facts.iter().any(|f| held_out.contains(&f.triple));
         // This is a statistical property of a trained model; the toy graph
         // and seed are fixed, so the assertion is deterministic.
         assert!(

@@ -122,7 +122,10 @@ mod tests {
     fn mines_functionality_with_support() {
         let rules = CandidateRules::learn(&store(), 2);
         assert!(rules.is_functional(RelationId(0)));
-        assert!(!rules.is_functional(RelationId(1)), "subject 0 has 2 objects");
+        assert!(
+            !rules.is_functional(RelationId(1)),
+            "subject 0 has 2 objects"
+        );
         assert!(rules.is_inverse_functional(RelationId(0)));
     }
 

@@ -12,11 +12,7 @@ use crate::{Measures, StrategyKind};
 use kgfd_kg::SideIndex;
 
 /// Normalized sampling weights over `pool.entities` (parallel vector).
-pub fn compute_weights(
-    strategy: StrategyKind,
-    measures: &Measures,
-    pool: &SideIndex,
-) -> Vec<f64> {
+pub fn compute_weights(strategy: StrategyKind, measures: &Measures, pool: &SideIndex) -> Vec<f64> {
     let raw: Vec<f64> = match strategy {
         StrategyKind::UniformRandom => vec![1.0; pool.len()],
         // Eq. 2 normalizes counts by len(side); any positive scaling yields

@@ -1,8 +1,8 @@
 //! Property-based tests of the fact-discovery invariants.
 
 use fact_discovery::{
-    compute_weights, discover_facts, normalize_or_uniform, AliasSampler, DiscoveryConfig,
-    Measures, StrategyKind,
+    compute_weights, discover_facts, normalize_or_uniform, AliasSampler, DiscoveryConfig, Measures,
+    StrategyKind,
 };
 use kgfd_embed::{new_model, ModelKind};
 use kgfd_kg::{Side, Triple, TripleStore};

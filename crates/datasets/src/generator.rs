@@ -92,8 +92,7 @@ fn generate_triples(
     relation_communities: &[Vec<usize>],
     rng: &mut StdRng,
 ) -> Vec<Triple> {
-    let target =
-        profile.train_triples + profile.valid_triples + profile.test_triples;
+    let target = profile.train_triples + profile.valid_triples + profile.test_triples;
     let entity_zipf = Zipf::new(profile.entities, profile.entity_skew);
     let relation_zipf = Zipf::new(profile.relations, profile.relation_skew);
     let community_zipfs: Vec<Zipf> = communities
@@ -140,8 +139,7 @@ fn split(
     let total = triples.len();
     // When generation undershoots the target (dense profiles on tiny entity
     // counts), shrink splits proportionally.
-    let requested =
-        profile.train_triples + profile.valid_triples + profile.test_triples;
+    let requested = profile.train_triples + profile.valid_triples + profile.test_triples;
     let ratio = (total as f64 / requested as f64).min(1.0);
     let valid_target = (profile.valid_triples as f64 * ratio).round() as usize;
     let test_target = (profile.test_triples as f64 * ratio).round() as usize;
@@ -153,9 +151,7 @@ fn split(
 
     let mut seen_entities = vec![false; profile.entities];
     let mut seen_relations = vec![false; profile.relations];
-    let cover = |t: &Triple,
-                     seen_entities: &mut Vec<bool>,
-                     seen_relations: &mut Vec<bool>| {
+    let cover = |t: &Triple, seen_entities: &mut Vec<bool>, seen_relations: &mut Vec<bool>| {
         seen_entities[t.subject.index()] = true;
         seen_entities[t.object.index()] = true;
         seen_relations[t.relation.index()] = true;

@@ -101,8 +101,8 @@ pub fn toy_biomedical() -> Dataset {
 
     let num_entities = vocab.num_entities();
     let num_relations = vocab.num_relations();
-    let store = TripleStore::new(num_entities, num_relations, train)
-        .expect("toy triples are well-formed");
+    let store =
+        TripleStore::new(num_entities, num_relations, train).expect("toy triples are well-formed");
     Dataset::new("toy-biomedical", vocab, store, valid, test)
         .expect("toy splits satisfy the coverage invariants")
 }

@@ -5,15 +5,15 @@ use proptest::prelude::*;
 
 fn arb_profile() -> impl Strategy<Value = DatasetProfile> {
     (
-        20usize..80,     // entities
-        1usize..6,       // relations
-        50usize..400,    // train triples
-        0.0f64..1.4,     // entity skew
-        0.0f64..1.0,     // relation skew
-        1usize..10,      // communities
-        0.0f64..1.0,     // intra community
-        0.05f64..1.0,    // relation spread
-        0u64..1000,      // seed
+        20usize..80,  // entities
+        1usize..6,    // relations
+        50usize..400, // train triples
+        0.0f64..1.4,  // entity skew
+        0.0f64..1.0,  // relation skew
+        1usize..10,   // communities
+        0.0f64..1.0,  // intra community
+        0.05f64..1.0, // relation spread
+        0u64..1000,   // seed
     )
         .prop_map(
             |(entities, relations, train, es, rs, communities, intra, spread, seed)| {

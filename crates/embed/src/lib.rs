@@ -23,10 +23,10 @@
 
 #![warn(missing_docs)]
 
+mod loss;
 pub mod math;
 mod model;
 pub mod models;
-mod loss;
 mod negative;
 mod optim;
 mod params;

@@ -91,12 +91,18 @@ mod tests {
         let eps = 1e-3;
         for (pos, neg) in [(0.0, 0.0), (2.0, -1.0), (-3.0, 4.0)] {
             let p = l.pair(pos, neg);
-            let d_pos_num = (l.pair(pos + eps, neg).value - l.pair(pos - eps, neg).value)
-                / (2.0 * eps);
-            let d_neg_num = (l.pair(pos, neg + eps).value - l.pair(pos, neg - eps).value)
-                / (2.0 * eps);
-            assert!((p.d_pos - d_pos_num).abs() < 1e-3, "pos grad at ({pos},{neg})");
-            assert!((p.d_neg - d_neg_num).abs() < 1e-3, "neg grad at ({pos},{neg})");
+            let d_pos_num =
+                (l.pair(pos + eps, neg).value - l.pair(pos - eps, neg).value) / (2.0 * eps);
+            let d_neg_num =
+                (l.pair(pos, neg + eps).value - l.pair(pos, neg - eps).value) / (2.0 * eps);
+            assert!(
+                (p.d_pos - d_pos_num).abs() < 1e-3,
+                "pos grad at ({pos},{neg})"
+            );
+            assert!(
+                (p.d_neg - d_neg_num).abs() < 1e-3,
+                "neg grad at ({pos},{neg})"
+            );
         }
     }
 

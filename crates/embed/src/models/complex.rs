@@ -34,7 +34,10 @@ pub struct ComplEx {
 impl ComplEx {
     /// Creates a Xavier-initialized ComplEx model. Panics if `dim` is odd.
     pub fn new(num_entities: usize, num_relations: usize, dim: usize, seed: u64) -> Self {
-        assert!(dim.is_multiple_of(2), "ComplEx needs an even embedding dimension");
+        assert!(
+            dim.is_multiple_of(2),
+            "ComplEx needs an even embedding dimension"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let mut entities = ParamTable::zeros(num_entities, dim);
         let mut relations = ParamTable::zeros(num_relations, dim);

@@ -163,7 +163,8 @@ impl ConvE {
     }
 
     fn query(&self, s: EntityId, relation_row: usize) -> Vec<f32> {
-        self.forward(self.entity(s), self.relation_row(relation_row)).vr
+        self.forward(self.entity(s), self.relation_row(relation_row))
+            .vr
     }
 
     fn dot_all_entities(&self, query: &[f32], out: &mut [f32]) {

@@ -35,7 +35,10 @@ pub struct RotatE {
 impl RotatE {
     /// Creates a RotatE model: Xavier entities, phases uniform in (−π, π).
     pub fn new(num_entities: usize, num_relations: usize, dim: usize, seed: u64) -> Self {
-        assert!(dim.is_multiple_of(2), "RotatE needs an even embedding dimension");
+        assert!(
+            dim.is_multiple_of(2),
+            "RotatE needs an even embedding dimension"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let mut entities = ParamTable::zeros(num_entities, dim);
         let mut relations = ParamTable::zeros(num_relations, dim / 2);
@@ -109,7 +112,12 @@ impl KgeModel for RotatE {
 
     fn score(&self, t: Triple) -> f32 {
         let mut rotated = vec![0.0; self.dim];
-        Self::rotate(self.entity(t.subject), self.phases(t.relation), 1.0, &mut rotated);
+        Self::rotate(
+            self.entity(t.subject),
+            self.phases(t.relation),
+            1.0,
+            &mut rotated,
+        );
         Self::neg_complex_l1(&rotated, self.entity(t.object))
     }
 

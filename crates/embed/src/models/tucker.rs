@@ -155,7 +155,11 @@ impl KgeModel for TuckEr {
 
     fn score(&self, t: Triple) -> f32 {
         let mut query = vec![0.0; self.dim];
-        self.contract_rs(self.relation(t.relation), self.entity(t.subject), &mut query);
+        self.contract_rs(
+            self.relation(t.relation),
+            self.entity(t.subject),
+            &mut query,
+        );
         dot(&query, self.entity(t.object))
     }
 

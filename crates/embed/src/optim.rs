@@ -180,11 +180,8 @@ mod tests {
 
     #[test]
     fn untouched_rows_are_untouched() {
-        let mut params = Parameters::new(vec![ParamTable::from_data(
-            2,
-            2,
-            vec![1.0, 1.0, 5.0, 5.0],
-        )]);
+        let mut params =
+            Parameters::new(vec![ParamTable::from_data(2, 2, vec![1.0, 1.0, 5.0, 5.0])]);
         let mut opt = OptimizerKind::Adam { lr: 0.1 }.build(&params);
         let mut g = Gradients::new();
         g.add(0, 0, &[1.0, 1.0], 1.0);

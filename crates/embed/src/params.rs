@@ -153,9 +153,7 @@ impl Gradients {
 
     /// Iterates over all touched `(table, row)` gradients.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, &[f32])> {
-        self.grads
-            .iter()
-            .map(|(&(t, r), g)| (t, r, g.as_slice()))
+        self.grads.iter().map(|(&(t, r), g)| (t, r, g.as_slice()))
     }
 
     /// Number of touched rows.

@@ -131,10 +131,7 @@ mod tests {
             let bytes = save_model(model.as_ref());
             let loaded = load_model(&bytes).unwrap();
             assert_eq!(loaded.kind(), kind);
-            for t in [
-                Triple::new(0u32, 0u32, 1u32),
-                Triple::new(3u32, 1u32, 5u32),
-            ] {
+            for t in [Triple::new(0u32, 0u32, 1u32), Triple::new(3u32, 1u32, 5u32)] {
                 let a = model.score(t);
                 let b = loaded.score(t);
                 assert!((a - b).abs() < 1e-7, "{kind}: {a} vs {b}");

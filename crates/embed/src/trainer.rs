@@ -129,7 +129,9 @@ pub fn train_into(
     let mut grads = Gradients::new();
     let mut epoch_losses = Vec::with_capacity(config.epochs);
 
-    for _epoch in 0..config.epochs {
+    for epoch in 0..config.epochs {
+        let epoch_start = std::time::Instant::now();
+        let mut sampling = std::time::Duration::ZERO;
         triples.shuffle(&mut rng);
         let mut loss_sum = 0.0f64;
         let mut pairs = 0u64;
@@ -137,11 +139,17 @@ pub fn train_into(
             grads.clear();
             for &pos in batch {
                 let f_pos = model.score(pos);
-                let negs: Vec<(Triple, f32)> = (0..config.negatives)
-                    .map(|_| {
-                        let neg = sampler.corrupt(pos, corrupt_side, filter, &mut rng);
-                        (neg, model.score(neg))
-                    })
+                // Negatives are drawn before scoring (rather than interleaved)
+                // so the sampling cost is measurable on its own; the RNG
+                // stream is identical either way.
+                let sample_start = std::time::Instant::now();
+                let neg_triples: Vec<Triple> = (0..config.negatives)
+                    .map(|_| sampler.corrupt(pos, corrupt_side, filter, &mut rng))
+                    .collect();
+                sampling += sample_start.elapsed();
+                let negs: Vec<(Triple, f32)> = neg_triples
+                    .into_iter()
+                    .map(|neg| (neg, model.score(neg)))
                     .collect();
                 let weights = negative_weights(&negs, config.adversarial_temperature);
                 for (&(neg, f_neg), &w) in negs.iter().zip(&weights) {
@@ -176,12 +184,31 @@ pub fn train_into(
                 }
             }
         }
-        epoch_losses.push(if pairs == 0 {
+        let mean_loss = if pairs == 0 {
             0.0
         } else {
             loss_sum / pairs as f64
-        });
+        };
+        epoch_losses.push(mean_loss);
+
+        let wall = epoch_start.elapsed();
+        kgfd_obs::histogram("embed.train.epoch_duration_us").record(wall.as_micros() as f64);
+        let epoch_field = vec![kgfd_obs::Field::new("epoch", epoch)];
+        kgfd_obs::metric("embed.train.epoch_loss", mean_loss, epoch_field.clone());
+        if wall > std::time::Duration::ZERO {
+            kgfd_obs::metric(
+                "embed.train.examples_per_sec",
+                triples.len() as f64 / wall.as_secs_f64(),
+                epoch_field.clone(),
+            );
+        }
+        kgfd_obs::metric(
+            "embed.train.negative_sampling_us",
+            sampling.as_micros() as f64,
+            epoch_field,
+        );
     }
+    kgfd_obs::counter("embed.train.epochs").add(config.epochs as u64);
     TrainStats { epoch_losses }
 }
 
@@ -288,7 +315,13 @@ mod tests {
         let (model, _) = train(ModelKind::ConvE, &data.train, &config);
         // A fresh ConvE has identical init given the seed; after training the
         // reciprocal rows must have moved.
-        let fresh = new_model(ModelKind::ConvE, data.train.num_entities(), k, 12, config.seed);
+        let fresh = new_model(
+            ModelKind::ConvE,
+            data.train.num_entities(),
+            k,
+            12,
+            config.seed,
+        );
         let trained_recip = model.params().table(1).row(k); // first reciprocal row
         let fresh_recip = fresh.params().table(1).row(k);
         assert_ne!(trained_recip, fresh_recip);
@@ -310,7 +343,10 @@ mod tests {
                 normalized += 1;
             }
         }
-        assert!(normalized > table.rows() / 2, "{normalized} rows normalized");
+        assert!(
+            normalized > table.rows() / 2,
+            "{normalized} rows normalized"
+        );
     }
 
     #[test]
@@ -322,7 +358,10 @@ mod tests {
         let w = negative_weights(&negs, Some(1.0));
         assert!(w[0] > 1.9, "high-scoring negative dominates: {w:?}");
         assert!(w[1] < 0.1);
-        assert!((w.iter().sum::<f32>() - 2.0).abs() < 1e-5, "weights sum to k");
+        assert!(
+            (w.iter().sum::<f32>() - 2.0).abs() < 1e-5,
+            "weights sum to k"
+        );
         let uniform = negative_weights(&negs, None);
         assert_eq!(uniform, vec![1.0, 1.0]);
     }

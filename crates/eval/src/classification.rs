@@ -167,7 +167,8 @@ mod tests {
                 ..TrainConfig::default()
             },
         );
-        let thresholds = Thresholds::tune(model.as_ref(), &data.train.triples()[..4], &data.train, 1);
+        let thresholds =
+            Thresholds::tune(model.as_ref(), &data.train.triples()[..4], &data.train, 1);
         // RelationId(99) was never tuned.
         let t = thresholds.for_relation(RelationId(99));
         assert!(t.is_finite());

@@ -104,9 +104,9 @@ mod tests {
     fn hits_and_unverifiable_partition_the_facts() {
         let held_out = [Triple::new(0u32, 0u32, 2u32), Triple::new(1u32, 0u32, 1u32)];
         let facts = [
-            Triple::new(0u32, 0u32, 2u32),  // hit
-            Triple::new(1u32, 0u32, 1u32),  // hit
-            Triple::new(0u32, 1u32, 4u32),  // unverifiable
+            Triple::new(0u32, 0u32, 2u32), // hit
+            Triple::new(1u32, 0u32, 1u32), // hit
+            Triple::new(0u32, 1u32, 4u32), // unverifiable
         ];
         let r = score_against_held_out(&facts, &held_out, &train());
         assert_eq!(r.hits, 2);

@@ -17,15 +17,34 @@ pub fn evaluate_ranking(
     threads: usize,
 ) -> RankingSummary {
     let ranks = rank_all(model, triples, known, threads);
-    let flat: Vec<f64> = ranks
-        .iter()
-        .flat_map(|r| [r.subject, r.object])
-        .collect();
+    let flat: Vec<f64> = ranks.iter().flat_map(|r| [r.subject, r.object]).collect();
     RankingSummary::from_ranks(&flat)
 }
 
 /// Computes both-side ranks for every triple, in input order.
 pub fn rank_all(
+    model: &dyn KgeModel,
+    triples: &[Triple],
+    known: Option<&KnownTriples>,
+    threads: usize,
+) -> Vec<TripleRanks> {
+    let start = std::time::Instant::now();
+    let ranks = rank_all_inner(model, triples, known, threads);
+    let secs = start.elapsed().as_secs_f64();
+    kgfd_obs::counter("eval.rank.triples_ranked").add(triples.len() as u64);
+    if !triples.is_empty() && secs > 0.0 {
+        let rate = triples.len() as f64 / secs;
+        kgfd_obs::gauge("eval.rank.triples_per_sec").set(rate);
+        kgfd_obs::metric(
+            "eval.rank.triples_per_sec",
+            rate,
+            vec![kgfd_obs::Field::new("triples", triples.len())],
+        );
+    }
+    ranks
+}
+
+fn rank_all_inner(
     model: &dyn KgeModel,
     triples: &[Triple],
     known: Option<&KnownTriples>,
@@ -126,7 +145,7 @@ mod tests {
     }
 
     #[test]
-    fn ranks_are_within_entity_range(){
+    fn ranks_are_within_entity_range() {
         let (data, model) = trained();
         let n = data.train.num_entities() as f64;
         for r in rank_all(model.as_ref(), &data.test, None, 2) {
@@ -151,10 +170,8 @@ mod tests {
     fn per_relation_breakdown_partitions_the_ranks() {
         let (data, model) = trained();
         let known = data.known_triples();
-        let per_rel =
-            evaluate_per_relation(model.as_ref(), data.train.triples(), Some(&known), 2);
-        let overall =
-            evaluate_ranking(model.as_ref(), data.train.triples(), Some(&known), 2);
+        let per_rel = evaluate_per_relation(model.as_ref(), data.train.triples(), Some(&known), 2);
+        let overall = evaluate_ranking(model.as_ref(), data.train.triples(), Some(&known), 2);
         let total: usize = per_rel.iter().map(|p| p.summary.count).sum();
         assert_eq!(total, overall.count);
         // Relations are distinct and ascending.

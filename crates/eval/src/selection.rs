@@ -187,8 +187,13 @@ mod tests {
             patience: 2,
             min_delta: 1e-4,
         };
-        let (model, stats) =
-            train_with_early_stopping(ModelKind::DistMult, &data.train, &data.valid, &config, stopping);
+        let (model, stats) = train_with_early_stopping(
+            ModelKind::DistMult,
+            &data.train,
+            &data.valid,
+            &config,
+            stopping,
+        );
         assert!(!stats.checkpoints.is_empty());
         assert!(stats.epochs_trained <= 30);
         assert!(stats.best_mrr >= stats.checkpoints[0] - 1e-9);
@@ -212,8 +217,13 @@ mod tests {
             patience: 1,
             min_delta: 0.5, // nothing counts as progress
         };
-        let (_, stats) =
-            train_with_early_stopping(ModelKind::TransE, &data.train, &data.valid, &config, stopping);
+        let (_, stats) = train_with_early_stopping(
+            ModelKind::TransE,
+            &data.train,
+            &data.valid,
+            &config,
+            stopping,
+        );
         assert!(
             stats.epochs_trained <= 4,
             "plateau must stop training early, got {}",
@@ -236,6 +246,9 @@ mod tests {
         };
         let results = grid_search(ModelKind::ComplEx, &data.train, &data.valid, &base, &space);
         assert_eq!(results.len(), 2);
-        assert!(results[0].valid_mrr >= results[1].valid_mrr, "sorted best-first");
+        assert!(
+            results[0].valid_mrr >= results[1].valid_mrr,
+            "sorted best-first"
+        );
     }
 }

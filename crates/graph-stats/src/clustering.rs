@@ -123,7 +123,16 @@ mod tests {
         // open wedges dominate).
         let adj = adj_of(
             8,
-            &[(0, 1), (1, 2), (2, 0), (0, 3), (0, 4), (0, 5), (0, 6), (0, 7)],
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (0, 3),
+                (0, 4),
+                (0, 5),
+                (0, 6),
+                (0, 7),
+            ],
         );
         let t = crate::local_triangle_counts(&adj);
         let coeffs = crate::clustering_from_triangles(&adj, &t);

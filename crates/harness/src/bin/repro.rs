@@ -1,21 +1,51 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! repro [TARGET] [SCALE]
+//! repro [TARGET] [SCALE] [--quiet | --progress] [--metrics-dir DIR]
 //!   TARGET: all | table1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 | fig8
 //!           | fig9 | fig10 | squares | longtail | grid | sweep | experiments
 //!           (default: all; `experiments` emits EXPERIMENTS.md content)
 //!   SCALE:  mini | standard                             (default: mini)
+//!   --quiet         suppress stderr entirely
+//!   --progress      human-readable progress lines on stderr
+//!   --metrics-dir   write one structured JSONL file per grid/sweep cell
 //! ```
 //!
 //! Text reports go to stdout; JSON series to `target/kgfd-results/`.
 
 use kgfd_harness::{figures, run_grid, run_sweep, GridOptions, Scale, SweepOptions};
+use std::sync::Arc;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let target = args.first().map(String::as_str).unwrap_or("all");
-    let scale = match args.get(1).map(String::as_str) {
+    let mut positional: Vec<String> = Vec::new();
+    let mut quiet = false;
+    let mut progress = false;
+    let mut metrics_dir: Option<std::path::PathBuf> = None;
+    let mut raw = std::env::args().skip(1);
+    while let Some(arg) = raw.next() {
+        match arg.as_str() {
+            "--quiet" => quiet = true,
+            "--progress" => progress = true,
+            "--metrics-dir" => match raw.next() {
+                Some(dir) => metrics_dir = Some(dir.into()),
+                None => {
+                    eprintln!("--metrics-dir needs a directory argument");
+                    std::process::exit(2);
+                }
+            },
+            _ => positional.push(arg),
+        }
+    }
+    let _observer = kgfd_obs::scoped(if quiet {
+        Arc::new(kgfd_obs::NullObserver) as Arc<dyn kgfd_obs::Observer>
+    } else if progress {
+        Arc::new(kgfd_obs::StderrProgress::new())
+    } else {
+        Arc::new(kgfd_obs::StderrProgress::warnings_only())
+    });
+
+    let target = positional.first().map(String::as_str).unwrap_or("all");
+    let scale = match positional.get(1).map(String::as_str) {
         Some("standard") => Scale::Standard,
         Some("mini") | None => Scale::Mini,
         Some(other) => {
@@ -24,14 +54,25 @@ fn main() {
         }
     };
 
-    let needs_grid = matches!(target, "all" | "grid" | "fig2" | "fig4" | "fig6" | "experiments");
+    let needs_grid = matches!(
+        target,
+        "all" | "grid" | "fig2" | "fig4" | "fig6" | "experiments"
+    );
     let needs_sweep = matches!(
         target,
         "all" | "sweep" | "fig7" | "fig8" | "fig9" | "fig10" | "experiments"
     );
 
-    let grid = needs_grid.then(|| run_grid(scale, &GridOptions::for_scale(scale)));
-    let sweep = needs_sweep.then(|| run_sweep(scale, &SweepOptions::for_scale(scale)));
+    let grid = needs_grid.then(|| {
+        let mut options = GridOptions::for_scale(scale);
+        options.metrics_dir = metrics_dir.clone();
+        run_grid(scale, &options)
+    });
+    let sweep = needs_sweep.then(|| {
+        let mut options = SweepOptions::for_scale(scale);
+        options.metrics_dir = metrics_dir.clone();
+        run_sweep(scale, &options)
+    });
 
     let mut sections: Vec<String> = Vec::new();
     let want = |name: &str| target == "all" || target == name;

@@ -3,7 +3,9 @@
 //! quotes WN18RR ≈ 0.059, by far the sparsest).
 
 use crate::{write_json, DatasetRef, Scale, TextTable};
-use kgfd_graph_stats::{average_clustering, local_clustering_coefficients, Histogram, UndirectedAdjacency};
+use kgfd_graph_stats::{
+    average_clustering, local_clustering_coefficients, Histogram, UndirectedAdjacency,
+};
 use serde::Serialize;
 
 const BINS: usize = 20;
@@ -65,7 +67,13 @@ pub fn render(scale: Scale) -> String {
     out.push_str(&table.render());
     // Sparkline-style histogram per dataset for the terminal.
     for d in &dists {
-        let max = d.histogram.iter().map(|&(_, c)| c).max().unwrap_or(1).max(1);
+        let max = d
+            .histogram
+            .iter()
+            .map(|&(_, c)| c)
+            .max()
+            .unwrap_or(1)
+            .max(1);
         let bars: String = d
             .histogram
             .iter()

@@ -13,7 +13,10 @@ pub fn render(results: &SweepResults) -> String {
         "Figure 7 — runtime vs max_candidates, lines per top_n (fb15k237-like, TransE, {} scale)\n",
         results.scale.name()
     );
-    for strategy in [StrategyKind::UniformRandom, StrategyKind::ClusteringTriangles] {
+    for strategy in [
+        StrategyKind::UniformRandom,
+        StrategyKind::ClusteringTriangles,
+    ] {
         let cells = results.series(strategy);
         if cells.is_empty() {
             continue;

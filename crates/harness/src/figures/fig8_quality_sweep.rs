@@ -25,7 +25,9 @@ pub fn render(results: &SweepResults) -> String {
         results.scale.name()
     );
 
-    out.push_str(&format!("\n(a) MRR vs max_candidates (top_n = {pivot_top})\n"));
+    out.push_str(&format!(
+        "\n(a) MRR vs max_candidates (top_n = {pivot_top})\n"
+    ));
     let mut a = TextTable::new(["max_candidates", "MRR", "facts"]);
     for &mc in &mcs {
         if let Some(c) = results.at(strategy, mc, pivot_top) {
@@ -34,7 +36,9 @@ pub fn render(results: &SweepResults) -> String {
     }
     out.push_str(&a.render());
 
-    out.push_str(&format!("\n(b) MRR vs top_n (max_candidates = {pivot_mc})\n"));
+    out.push_str(&format!(
+        "\n(b) MRR vs top_n (max_candidates = {pivot_mc})\n"
+    ));
     let mut b = TextTable::new(["top_n", "MRR", "facts"]);
     for &t in &tops {
         if let Some(c) = results.at(strategy, pivot_mc, t) {

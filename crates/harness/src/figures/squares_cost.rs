@@ -72,13 +72,8 @@ pub fn render(scale: Scale) -> String {
         "§4.3 ablation — CLUSTERING SQUARES cost ({} scale, fb15k237-like, TransE)\n",
         scale.name()
     );
-    let mut table = crate::TextTable::new([
-        "strategy",
-        "prep (s)",
-        "total (s)",
-        "facts",
-        "facts/hour",
-    ]);
+    let mut table =
+        crate::TextTable::new(["strategy", "prep (s)", "total (s)", "facts", "facts/hour"]);
     for r in &rows {
         table.row([
             r.strategy.clone(),

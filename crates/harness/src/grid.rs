@@ -81,6 +81,10 @@ pub struct GridOptions {
     pub models: Vec<ModelKind>,
     /// Strategies to include (defaults to the paper's five).
     pub strategies: Vec<StrategyKind>,
+    /// When set, each grid cell writes its structured events (spans,
+    /// metrics, manifest) to
+    /// `<dir>/grid-<dataset>-<model>-<strategy>.jsonl`.
+    pub metrics_dir: Option<std::path::PathBuf>,
 }
 
 impl GridOptions {
@@ -102,6 +106,7 @@ impl GridOptions {
             datasets: DatasetRef::ALL.to_vec(),
             models: ModelKind::PAPER_GRID.to_vec(),
             strategies: StrategyKind::PAPER_GRID.to_vec(),
+            metrics_dir: None,
         }
     }
 }
@@ -115,6 +120,15 @@ pub fn run_grid(scale: Scale, options: &GridOptions) -> GridResults {
         for &model_kind in &options.models {
             let model = trained_model(dataset, model_kind, scale, &data);
             for &strategy in &options.strategies {
+                let _cell = crate::cell_observer(
+                    options.metrics_dir.as_deref(),
+                    &format!(
+                        "grid-{}-{}-{}",
+                        dataset.name(),
+                        model_kind.name(),
+                        strategy.abbrev()
+                    ),
+                );
                 let config = DiscoveryConfig {
                     strategy,
                     top_n: options.top_n,
@@ -124,12 +138,28 @@ pub fn run_grid(scale: Scale, options: &GridOptions) -> GridResults {
                     ..DiscoveryConfig::default()
                 };
                 let report = discover_facts(model.as_ref(), &data.train, &config);
-                eprintln!(
+                kgfd_obs::progress(format!(
                     "[grid {}] {dataset} × {model_kind} × {strategy}: {} facts, {:.1}s",
                     scale.name(),
                     report.facts.len(),
                     report.total.as_secs_f64()
-                );
+                ));
+                // The manifest goes last so it closes the cell's JSONL file.
+                let mut manifest = kgfd_obs::RunManifest::new("grid-cell");
+                manifest.strategy = strategy.to_string();
+                manifest.model = model_kind.to_string();
+                manifest.seed = options.seed;
+                manifest.dataset = kgfd_obs::DatasetShape {
+                    entities: data.train.num_entities() as u64,
+                    relations: data.train.num_relations() as u64,
+                    triples: data.train.len() as u64,
+                };
+                manifest.wall_clock_s = report.total.as_secs_f64();
+                manifest
+                    .with_config("top_n", options.top_n)
+                    .with_config("max_candidates", options.max_candidates)
+                    .with_config("facts", report.facts.len())
+                    .emit();
                 cells.push(GridCell {
                     dataset,
                     model: model_kind,

@@ -26,7 +26,7 @@ mod zoo;
 pub use experiment::{paper_grid, DatasetRef, GridPoint, Scale};
 pub use experiments_md::render as render_experiments_md;
 pub use grid::{run_grid, GridCell, GridOptions, GridResults};
-pub use output::{results_dir, write_json, TextTable};
+pub use output::{cell_observer, results_dir, write_json, TextTable};
 pub use sweep::{
     run_sweep, SweepCell, SweepOptions, SweepResults, MAX_CANDIDATES_VALUES, TOP_N_VALUES,
 };

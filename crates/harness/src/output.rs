@@ -17,17 +17,42 @@ pub fn results_dir() -> PathBuf {
 pub fn write_json<T: Serialize>(name: &str, value: &T) {
     let dir = results_dir();
     if let Err(e) = std::fs::create_dir_all(&dir) {
-        eprintln!("warning: cannot create {}: {e}", dir.display());
+        kgfd_obs::warn(format!("cannot create {}: {e}", dir.display()));
         return;
     }
     let path = dir.join(format!("{name}.json"));
     match serde_json::to_vec_pretty(value) {
         Ok(bytes) => {
             if let Err(e) = std::fs::write(&path, bytes) {
-                eprintln!("warning: cannot write {}: {e}", path.display());
+                kgfd_obs::warn(format!("cannot write {}: {e}", path.display()));
             }
         }
-        Err(e) => eprintln!("warning: cannot serialize {name}: {e}"),
+        Err(e) => kgfd_obs::warn(format!("cannot serialize {name}: {e}")),
+    }
+}
+
+/// Scopes a per-cell JSONL sink at `<dir>/<name>.jsonl` (when `dir` is
+/// set): until the returned guard drops, events go both to the current
+/// observer and to the cell's file. Failures are reported as warnings and
+/// the cell runs with the unchanged observer.
+pub fn cell_observer(
+    dir: Option<&std::path::Path>,
+    name: &str,
+) -> Option<kgfd_obs::ScopedObserver> {
+    let dir = dir?;
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        kgfd_obs::warn(format!("cannot create {}: {e}", dir.display()));
+        return None;
+    }
+    let path = dir.join(format!("{name}.jsonl"));
+    match kgfd_obs::JsonlSink::create(&path) {
+        Ok(sink) => Some(kgfd_obs::scoped(std::sync::Arc::new(
+            kgfd_obs::Fanout::new(vec![kgfd_obs::observer(), std::sync::Arc::new(sink)]),
+        ))),
+        Err(e) => {
+            kgfd_obs::warn(format!("cannot create {}: {e}", path.display()));
+            None
+        }
     }
 }
 

@@ -78,6 +78,9 @@ pub struct SweepOptions {
     pub seed: u64,
     /// Ranking threads.
     pub threads: usize,
+    /// When set, each grid cell writes its structured events (spans,
+    /// metrics, manifest) to `<dir>/sweep-<strategy>-mc<MC>-top<N>.jsonl`.
+    pub metrics_dir: Option<std::path::PathBuf>,
 }
 
 impl SweepOptions {
@@ -98,6 +101,7 @@ impl SweepOptions {
             threads: std::thread::available_parallelism()
                 .map(|p| p.get().min(8))
                 .unwrap_or(1),
+            metrics_dir: None,
         }
     }
 }
@@ -112,6 +116,10 @@ pub fn run_sweep(scale: Scale, options: &SweepOptions) -> SweepResults {
     for &strategy in &options.strategies {
         for &max_candidates in &options.max_candidates {
             for &top_n in &options.top_n {
+                let _cell = crate::cell_observer(
+                    options.metrics_dir.as_deref(),
+                    &format!("sweep-{}-mc{max_candidates}-top{top_n}", strategy.abbrev()),
+                );
                 let config = DiscoveryConfig {
                     strategy,
                     top_n,
@@ -121,6 +129,21 @@ pub fn run_sweep(scale: Scale, options: &SweepOptions) -> SweepResults {
                     ..DiscoveryConfig::default()
                 };
                 let report = discover_facts(model.as_ref(), &data.train, &config);
+                let mut manifest = kgfd_obs::RunManifest::new("sweep-cell");
+                manifest.strategy = strategy.to_string();
+                manifest.model = ModelKind::TransE.to_string();
+                manifest.seed = options.seed;
+                manifest.dataset = kgfd_obs::DatasetShape {
+                    entities: data.train.num_entities() as u64,
+                    relations: data.train.num_relations() as u64,
+                    triples: data.train.len() as u64,
+                };
+                manifest.wall_clock_s = report.total.as_secs_f64();
+                manifest
+                    .with_config("max_candidates", max_candidates)
+                    .with_config("top_n", top_n)
+                    .with_config("facts", report.facts.len())
+                    .emit();
                 cells.push(SweepCell {
                     strategy,
                     max_candidates,
@@ -132,7 +155,7 @@ pub fn run_sweep(scale: Scale, options: &SweepOptions) -> SweepResults {
                 });
             }
         }
-        eprintln!("[sweep {}] finished {strategy}", scale.name());
+        kgfd_obs::progress(format!("[sweep {}] finished {strategy}", scale.name()));
     }
     SweepResults { scale, cells }
 }
@@ -149,6 +172,7 @@ mod tests {
             strategies: vec![StrategyKind::UniformRandom],
             seed: 1,
             threads: 2,
+            metrics_dir: None,
         };
         let results = run_sweep(Scale::Mini, &options);
         assert_eq!(results.cells.len(), 4);
@@ -164,10 +188,20 @@ mod tests {
             strategies: vec![StrategyKind::ClusteringTriangles],
             seed: 2,
             threads: 2,
+            metrics_dir: None,
         };
         let results = run_sweep(Scale::Mini, &options);
-        let small = results.at(StrategyKind::ClusteringTriangles, 10, 1_000_000).unwrap();
-        let large = results.at(StrategyKind::ClusteringTriangles, 50, 1_000_000).unwrap();
-        assert!(large.facts > small.facts, "{} vs {}", large.facts, small.facts);
+        let small = results
+            .at(StrategyKind::ClusteringTriangles, 10, 1_000_000)
+            .unwrap();
+        let large = results
+            .at(StrategyKind::ClusteringTriangles, 50, 1_000_000)
+            .unwrap();
+        assert!(
+            large.facts > small.facts,
+            "{} vs {}",
+            large.facts,
+            small.facts
+        );
     }
 }

@@ -37,10 +37,7 @@ pub fn train_config(dataset: DatasetRef, model: ModelKind, scale: Scale) -> Trai
         _ => (epochs, 4),
     };
     let (loss, normalize_entities) = match model {
-        ModelKind::TransE => (
-            LossKind::MarginRanking { margin: 1.0 },
-            true,
-        ),
+        ModelKind::TransE => (LossKind::MarginRanking { margin: 1.0 }, true),
         _ => (LossKind::BinaryCrossEntropy, false),
     };
     TrainConfig {
@@ -63,8 +60,7 @@ pub fn cache_dir() -> PathBuf {
         .map(PathBuf::from)
         .unwrap_or_else(|| {
             // Walk up from the crate dir to the workspace target.
-            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-                .join("../../target")
+            PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target")
         });
     target.join("kgfd-models")
 }

@@ -65,7 +65,9 @@ mod tests {
         }
         .to_string()
         .contains("line 3"));
-        assert!(KgError::Invariant("empty".into()).to_string().contains("empty"));
+        assert!(KgError::Invariant("empty".into())
+            .to_string()
+            .contains("empty"));
     }
 
     #[test]

@@ -54,12 +54,18 @@ impl KnownTriples {
 
     /// Known true objects `o` such that `(s, r, o)` is a known triple.
     pub fn true_objects(&self, s: EntityId, r: RelationId) -> &[EntityId] {
-        self.objects_of.get(&(s, r)).map(Vec::as_slice).unwrap_or(&[])
+        self.objects_of
+            .get(&(s, r))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Known true subjects `s` such that `(s, r, o)` is a known triple.
     pub fn true_subjects(&self, r: RelationId, o: EntityId) -> &[EntityId] {
-        self.subjects_of.get(&(r, o)).map(Vec::as_slice).unwrap_or(&[])
+        self.subjects_of
+            .get(&(r, o))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// O(log n) membership test.

@@ -178,9 +178,14 @@ mod tests {
     fn unseen_entity_in_test_is_rejected() {
         let vocab = Vocabulary::synthetic(5, 1);
         // entity 4 exists in the vocabulary but never in training
-        let train =
-            TripleStore::new(5, 1, vec![Triple::new(0u32, 0u32, 1u32)]).unwrap();
-        let err = Dataset::new("bad", vocab, train, vec![], vec![Triple::new(4u32, 0u32, 0u32)]);
+        let train = TripleStore::new(5, 1, vec![Triple::new(0u32, 0u32, 1u32)]).unwrap();
+        let err = Dataset::new(
+            "bad",
+            vocab,
+            train,
+            vec![],
+            vec![Triple::new(4u32, 0u32, 0u32)],
+        );
         assert!(matches!(err, Err(KgError::Invariant(_))));
     }
 

@@ -1,6 +1,8 @@
 //! Property-based tests of the knowledge-graph substrate invariants.
 
-use kgfd_kg::{read_triples_tsv, write_triples_tsv, KnownTriples, Side, Triple, TripleStore, Vocabulary};
+use kgfd_kg::{
+    read_triples_tsv, write_triples_tsv, KnownTriples, Side, Triple, TripleStore, Vocabulary,
+};
 use proptest::prelude::*;
 
 const N: u32 = 12;

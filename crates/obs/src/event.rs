@@ -1,0 +1,169 @@
+//! The structured event schema shared by every observer.
+//!
+//! One [`Event`] is one line in a JSONL sink: a run id, a monotonic
+//! timestamp in microseconds since process start, and a payload. The schema
+//! is serde-round-trippable so harness tooling can parse sink files back
+//! into typed events.
+
+use crate::manifest::RunManifest;
+
+/// A single observable occurrence in the pipeline.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Event {
+    /// Identifier of the run that produced this event (stable for the whole
+    /// process).
+    pub run: String,
+    /// Microseconds since the observability clock started (monotonic).
+    pub t_us: u64,
+    /// What happened.
+    pub payload: Payload,
+}
+
+/// The kinds of events the pipeline emits.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum Payload {
+    /// A span finished; `name` follows the `<crate>.<phase>` convention.
+    SpanEnd {
+        /// Span name, e.g. `discover.generation`.
+        name: String,
+        /// Wall-clock duration of the span.
+        duration_us: u64,
+        /// Structured context (e.g. `relation = 3`).
+        fields: Vec<Field>,
+    },
+    /// A point-in-time measurement; `name` follows
+    /// `<crate>.<phase>.<name>`, e.g. `embed.train.epoch_loss`.
+    Metric {
+        /// Metric name.
+        name: String,
+        /// Measured value.
+        value: f64,
+        /// Structured context (e.g. `epoch = 7`).
+        fields: Vec<Field>,
+    },
+    /// A human-readable message (progress line, warning, error).
+    Message {
+        /// Severity of the message.
+        level: Level,
+        /// Message text.
+        text: String,
+    },
+    /// The closing record of a run.
+    Manifest(RunManifest),
+}
+
+/// Message severity. `Progress` and `Info` may be rate-limited or dropped
+/// by observers; `Warn` and `Error` must always be delivered.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+pub enum Level {
+    /// Transient progress, safe to drop.
+    Progress,
+    /// Informational, safe to drop.
+    Info,
+    /// Something degraded but the run continues.
+    Warn,
+    /// Something failed.
+    Error,
+}
+
+/// A `key = value` pair attached to spans, metrics, and manifests.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Field {
+    /// Field name.
+    pub key: String,
+    /// Field value.
+    pub value: FieldValue,
+}
+
+impl Field {
+    /// Builds a field from anything convertible to a [`FieldValue`].
+    pub fn new(key: impl Into<String>, value: impl Into<FieldValue>) -> Self {
+        Field {
+            key: key.into(),
+            value: value.into(),
+        }
+    }
+}
+
+/// The value of a [`Field`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    UInt(u64),
+    /// Signed integer.
+    Int(i64),
+    /// Floating point.
+    Float(f64),
+    /// Text.
+    Text(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl std::fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FieldValue::UInt(v) => write!(f, "{v}"),
+            FieldValue::Int(v) => write!(f, "{v}"),
+            FieldValue::Float(v) => write!(f, "{v}"),
+            FieldValue::Text(v) => write!(f, "{v}"),
+            FieldValue::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+macro_rules! field_from_uint {
+    ($($t:ty),*) => {$(
+        impl From<$t> for FieldValue {
+            fn from(v: $t) -> Self {
+                FieldValue::UInt(v as u64)
+            }
+        }
+    )*};
+}
+
+field_from_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! field_from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for FieldValue {
+            fn from(v: $t) -> Self {
+                FieldValue::Int(v as i64)
+            }
+        }
+    )*};
+}
+
+field_from_int!(i8, i16, i32, i64, isize);
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::Float(v)
+    }
+}
+
+impl From<f32> for FieldValue {
+    fn from(v: f32) -> Self {
+        FieldValue::Float(v as f64)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Text(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Text(v)
+    }
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}

@@ -1,0 +1,48 @@
+//! `kgfd-obs` — structured tracing, metrics, and run manifests for the
+//! fact-discovery pipeline.
+//!
+//! The crate has four pieces, designed to add near-zero overhead when
+//! nothing is listening:
+//!
+//! * a **metrics registry** ([`registry`]) of lock-free [`Counter`]s,
+//!   [`Gauge`]s, and log-bucketed [`Histogram`]s (p50/p95/p99 with ≈4.4%
+//!   relative error);
+//! * **scoped span timers** ([`Span`], [`span!`]) that feed both the
+//!   histogram registry and the event stream;
+//! * an **[`Observer`] pipeline** — [`NullObserver`], rate-limited
+//!   [`StderrProgress`], and [`JsonlSink`] (one serde event per line,
+//!   tagged with a run id and monotonic timestamps) — installed with
+//!   [`set_observer`] or temporarily with [`scoped`];
+//! * a **[`RunManifest`]** emitted at the end of every run recording the
+//!   command, configuration, seed, dataset shape, and wall-clock totals.
+//!
+//! Metric and span names follow `<crate>.<phase>.<name>`, e.g.
+//! `embed.train.epoch_loss` or `discover.generation.duration_us`.
+//!
+//! ```
+//! let _cell = kgfd_obs::scoped(std::sync::Arc::new(kgfd_obs::NullObserver));
+//! let span = kgfd_obs::span!("discover.generation", relation = 3u64);
+//! // ... work ...
+//! let took = span.finish();
+//! kgfd_obs::metric("discover.generation.candidates", 128.0, vec![]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod event;
+mod manifest;
+mod metrics;
+mod observer;
+mod span;
+
+pub use event::{Event, Field, FieldValue, Level, Payload};
+pub use manifest::{DatasetShape, RunManifest};
+pub use metrics::{
+    counter, gauge, histogram, registry, Counter, Gauge, Histogram, HistogramSummary,
+    MetricsSnapshot, Registry,
+};
+pub use observer::{
+    clock_us, emit, error, info, metric, observer, progress, run_id, scoped, set_observer, warn,
+    Fanout, JsonlSink, NullObserver, Observer, ScopedObserver, StderrProgress,
+};
+pub use span::Span;

@@ -1,0 +1,62 @@
+//! The closing record of a run: what ran, on what, and how long it took.
+
+use crate::event::{Field, Payload};
+
+/// Shape of the dataset a run operated on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct DatasetShape {
+    /// Number of entities.
+    pub entities: u64,
+    /// Number of relations.
+    pub relations: u64,
+    /// Number of (training) triples.
+    pub triples: u64,
+}
+
+/// Machine-readable summary emitted at the end of every run — the last
+/// line of a JSONL sink.
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct RunManifest {
+    /// What ran (e.g. `discover`, `train`, `sweep`).
+    pub command: String,
+    /// Version of the workspace that produced this run.
+    pub crate_version: String,
+    /// Sampling strategy name (empty when not applicable).
+    pub strategy: String,
+    /// Embedding model name (empty when not applicable).
+    pub model: String,
+    /// Seed the run was keyed on.
+    pub seed: u64,
+    /// Shape of the input dataset.
+    pub dataset: DatasetShape,
+    /// Remaining configuration as key/value pairs.
+    pub config: Vec<Field>,
+    /// Total wall-clock time of the run, in seconds.
+    pub wall_clock_s: f64,
+}
+
+impl RunManifest {
+    /// A manifest for `command` stamped with the workspace version.
+    pub fn new(command: impl Into<String>) -> Self {
+        RunManifest {
+            command: command.into(),
+            crate_version: env!("CARGO_PKG_VERSION").to_string(),
+            ..RunManifest::default()
+        }
+    }
+
+    /// Appends a config field (builder style).
+    pub fn with_config(
+        mut self,
+        key: impl Into<String>,
+        value: impl Into<crate::FieldValue>,
+    ) -> Self {
+        self.config.push(Field::new(key, value));
+        self
+    }
+
+    /// Emits this manifest as the run's closing event.
+    pub fn emit(&self) {
+        crate::observer::emit(Payload::Manifest(self.clone()));
+    }
+}

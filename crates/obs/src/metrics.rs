@@ -1,0 +1,312 @@
+//! Global metrics registry: counters, gauges, and log-bucketed histograms.
+//!
+//! All hot-path operations (`inc`, `set`, `record`) are lock-free atomics;
+//! the registry lock is taken only on first use of a metric name and when
+//! snapshotting. Histograms bucket values logarithmically (16 sub-buckets
+//! per octave → worst-case relative quantile error 2^(1/16) − 1 ≈ 4.4%),
+//! covering 2⁻¹⁶ .. 2⁴⁸ — sub-microsecond to multi-day when recording
+//! microseconds.
+
+use parking_lot::RwLock;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Sub-buckets per power of two.
+const SUBDIV: usize = 16;
+/// Lowest representable octave (2^MIN_OCTAVE).
+const MIN_OCTAVE: i32 = -16;
+/// Number of octaves covered.
+const OCTAVES: usize = 64;
+/// Total bucket count.
+const BUCKETS: usize = OCTAVES * SUBDIV;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins measurement.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Stores `v`.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A log-bucketed histogram of non-negative values.
+pub struct Histogram {
+    counts: Box<[AtomicU64]>,
+    total: AtomicU64,
+    sum_bits: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        let counts: Vec<AtomicU64> = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            counts: counts.into_boxed_slice(),
+            total: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation. Non-finite and negative values clamp into
+    /// the lowest bucket.
+    pub fn record(&self, v: f64) {
+        let idx = Self::bucket_of(v);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+        // CAS loop: contention here is rare (records are spread over time).
+        let _ = self
+            .sum_bits
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                Some((f64::from_bits(bits) + v.max(0.0)).to_bits())
+            });
+    }
+
+    fn bucket_of(v: f64) -> usize {
+        if !v.is_finite() || v <= 0.0 {
+            return 0;
+        }
+        let pos = (v.log2() - MIN_OCTAVE as f64) * SUBDIV as f64;
+        pos.floor().clamp(0.0, (BUCKETS - 1) as f64) as usize
+    }
+
+    /// Geometric midpoint of bucket `idx` — the value reported for
+    /// quantiles landing in it.
+    fn bucket_value(idx: usize) -> f64 {
+        let exponent = MIN_OCTAVE as f64 + (idx as f64 + 0.5) / SUBDIV as f64;
+        exponent.exp2()
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded observations (negatives clamped to 0).
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) with the bucketing's relative error
+    /// (≈4.4%); `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, bucket) in self.counts.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= target {
+                return Some(Self::bucket_value(idx));
+            }
+        }
+        Some(Self::bucket_value(BUCKETS - 1))
+    }
+
+    /// Serializable summary of this histogram.
+    pub fn summary(&self) -> HistogramSummary {
+        let count = self.count();
+        let sum = self.sum();
+        HistogramSummary {
+            count,
+            sum,
+            mean: if count == 0 { 0.0 } else { sum / count as f64 },
+            p50: self.quantile(0.50).unwrap_or(0.0),
+            p95: self.quantile(0.95).unwrap_or(0.0),
+            p99: self.quantile(0.99).unwrap_or(0.0),
+        }
+    }
+}
+
+/// Point-in-time summary of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct HistogramSummary {
+    /// Observation count.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (log-bucket resolution).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+/// The process-wide metrics registry.
+#[derive(Default)]
+pub struct Registry {
+    counters: RwLock<HashMap<String, Arc<Counter>>>,
+    gauges: RwLock<HashMap<String, Arc<Gauge>>>,
+    histograms: RwLock<HashMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if let Some(c) = self.counters.read().get(name) {
+            return Arc::clone(c);
+        }
+        Arc::clone(self.counters.write().entry(name.to_string()).or_default())
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        if let Some(g) = self.gauges.read().get(name) {
+            return Arc::clone(g);
+        }
+        Arc::clone(self.gauges.write().entry(name.to_string()).or_default())
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        if let Some(h) = self.histograms.read().get(name) {
+            return Arc::clone(h);
+        }
+        Arc::clone(self.histograms.write().entry(name.to_string()).or_default())
+    }
+
+    /// Serializable snapshot of every registered metric, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .read()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .read()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .read()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.summary()))
+                .collect(),
+        }
+    }
+
+    /// Drops every registered metric (test isolation).
+    pub fn reset(&self) {
+        self.counters.write().clear();
+        self.gauges.write().clear();
+        self.histograms.write().clear();
+    }
+}
+
+/// Snapshot of the whole registry, serializable for sinks and reports.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+static REGISTRY: OnceLock<Registry> = OnceLock::new();
+
+/// The process-wide registry.
+pub fn registry() -> &'static Registry {
+    REGISTRY.get_or_init(Registry::default)
+}
+
+/// Shorthand for `registry().counter(name)`.
+pub fn counter(name: &str) -> Arc<Counter> {
+    registry().counter(name)
+}
+
+/// Shorthand for `registry().gauge(name)`.
+pub fn gauge(name: &str) -> Arc<Gauge> {
+    registry().gauge(name)
+}
+
+/// Shorthand for `registry().histogram(name)`.
+pub fn histogram(name: &str) -> Arc<Histogram> {
+    registry().histogram(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_count_and_gauges_hold_last() {
+        let r = Registry::default();
+        let c = r.counter("x");
+        c.inc();
+        c.add(4);
+        assert_eq!(r.counter("x").get(), 5);
+        let g = r.gauge("y");
+        g.set(1.5);
+        g.set(-2.0);
+        assert_eq!(r.gauge("y").get(), -2.0);
+    }
+
+    #[test]
+    fn histogram_quantiles_hit_known_values() {
+        let h = Histogram::default();
+        for v in 1..=1000 {
+            h.record(v as f64);
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((p50 - 500.0).abs() / 500.0 < 0.05, "p50 = {p50}");
+        let p99 = h.quantile(0.99).unwrap();
+        assert!((p99 - 990.0).abs() / 990.0 < 0.05, "p99 = {p99}");
+        assert_eq!(h.count(), 1000);
+        assert!((h.sum() - 500_500.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn extreme_and_invalid_values_clamp() {
+        let h = Histogram::default();
+        h.record(0.0);
+        h.record(-3.0);
+        h.record(f64::NAN);
+        h.record(1e300);
+        assert_eq!(h.count(), 4);
+        assert!(h.quantile(0.0).unwrap() > 0.0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Scoped span timers.
+//!
+//! A [`Span`] measures the wall-clock time between its creation and its
+//! `finish` (or drop). Finishing records the duration into the histogram
+//! `<name>.duration_us` and emits a [`Payload::SpanEnd`] event, so one
+//! instrumentation point feeds both the quantile registry and the JSONL
+//! sink.
+
+use crate::event::{Field, Payload};
+use crate::histogram;
+use std::time::{Duration, Instant};
+
+/// An in-progress timed section. Ends on [`Span::finish`] or drop.
+#[must_use = "a span measures the scope it is bound to; use `let _g = span!(..)`"]
+pub struct Span {
+    name: &'static str,
+    fields: Vec<Field>,
+    start: Instant,
+    finished: bool,
+}
+
+impl Span {
+    /// Starts a span with no context fields.
+    pub fn start(name: &'static str) -> Self {
+        Span::with_fields(name, Vec::new())
+    }
+
+    /// Starts a span carrying context fields.
+    pub fn with_fields(name: &'static str, fields: Vec<Field>) -> Self {
+        Span {
+            name,
+            fields,
+            start: Instant::now(),
+            finished: false,
+        }
+    }
+
+    /// Time elapsed so far without ending the span.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Ends the span, returning its duration (also recorded + emitted).
+    pub fn finish(mut self) -> Duration {
+        self.end()
+    }
+
+    fn end(&mut self) -> Duration {
+        self.finished = true;
+        let duration = self.start.elapsed();
+        let us = duration.as_micros() as u64;
+        histogram(&format!("{}.duration_us", self.name)).record(us as f64);
+        crate::observer::emit(Payload::SpanEnd {
+            name: self.name.to_string(),
+            duration_us: us,
+            fields: std::mem::take(&mut self.fields),
+        });
+        duration
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.end();
+        }
+    }
+}
+
+/// Starts a [`Span`]: `span!("discover.generation")` or
+/// `span!("discover.generation", relation = r.0)`.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::Span::start($name)
+    };
+    ($name:expr, $($key:ident = $value:expr),+ $(,)?) => {
+        $crate::Span::with_fields(
+            $name,
+            ::std::vec![$($crate::Field::new(::core::stringify!($key), $value)),+],
+        )
+    };
+}

@@ -31,7 +31,13 @@ fn main() {
         data.train.num_entities()
     );
 
-    let mut table = TextTable::new(["ε", "facts", "touches tail %", "distinct tail entities", "MRR"]);
+    let mut table = TextTable::new([
+        "ε",
+        "facts",
+        "touches tail %",
+        "distinct tail entities",
+        "MRR",
+    ]);
     for &epsilon in &[0.0, 0.1, 0.25, 0.5, 0.75, 1.0] {
         let config = DiscoveryConfig {
             strategy: StrategyKind::EntityFrequency,

@@ -118,7 +118,6 @@ fn discovery_report_durations_are_consistent() {
         report.total,
         parts
     );
-    let breakdown_gen: std::time::Duration =
-        report.per_relation.iter().map(|r| r.generation).sum();
+    let breakdown_gen: std::time::Duration = report.per_relation.iter().map(|r| r.generation).sum();
     assert!(breakdown_gen <= report.generation + std::time::Duration::from_millis(1));
 }

@@ -70,8 +70,7 @@ fn frequency_and_popularity_strategies_beat_uniform_on_quality() {
 #[test]
 fn clustering_coefficient_is_a_bottom_two_strategy() {
     let avg = strategy_averages();
-    let mut by_mrr: Vec<(StrategyKind, f64)> =
-        avg.iter().map(|(&s, &(m, _))| (s, m)).collect();
+    let mut by_mrr: Vec<(StrategyKind, f64)> = avg.iter().map(|(&s, &(m, _))| (s, m)).collect();
     by_mrr.sort_by(|a, b| a.1.total_cmp(&b.1));
     let bottom_two: Vec<StrategyKind> = by_mrr.iter().take(2).map(|(s, _)| *s).collect();
     assert!(
@@ -84,9 +83,8 @@ fn clustering_coefficient_is_a_bottom_two_strategy() {
 #[test]
 fn wn18rr_is_sparsest_and_fb15k237_densest() {
     // Figure 3's ordering drives the paper's density analysis.
-    let clustering = |d: DatasetRef| {
-        GraphSummary::compute(&d.load(Scale::Mini).train).avg_clustering
-    };
+    let clustering =
+        |d: DatasetRef| GraphSummary::compute(&d.load(Scale::Mini).train).avg_clustering;
     let wn = clustering(DatasetRef::Wn18rr);
     let fb = clustering(DatasetRef::Fb15k237);
     let yago = clustering(DatasetRef::Yago310);

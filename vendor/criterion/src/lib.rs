@@ -1,0 +1,220 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Supports the API surface used by `crates/bench`: benchmark groups with
+//! `sample_size`, `bench_function` / `bench_with_input`, [`BenchmarkId`],
+//! and the `criterion_group!` / `criterion_main!` macros. Measurements are
+//! real wall-clock timings (mean / min / max over the sample count) printed
+//! to stdout — there is no statistical analysis, HTML report, or saved
+//! baseline.
+//!
+//! When the binary is run by `cargo test` (which passes `--test` to bench
+//! targets), every benchmark body executes exactly once so the suite stays
+//! fast while still smoke-testing the bench code.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group, e.g. `alias/1024`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered `name/param`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion accepted by `bench_function`: `&str`, `String`, or
+/// [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    samples: usize,
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `f` once as warm-up, then `samples` timed times.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        std::hint::black_box(f());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            self.results.push(start.elapsed());
+        }
+    }
+}
+
+/// A named set of related benchmarks sharing a sample count.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed runs per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs and reports one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = if self.criterion.test_mode {
+            1
+        } else {
+            self.sample_size
+        };
+        let mut bencher = Bencher {
+            samples,
+            results: Vec::new(),
+        };
+        f(&mut bencher);
+        self.report(&id.into_id(), &bencher.results);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (reports were already printed per benchmark).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &str, results: &[Duration]) {
+        if results.is_empty() {
+            println!("{}/{id}: no samples", self.name);
+            return;
+        }
+        let total: Duration = results.iter().sum();
+        let mean = total / results.len() as u32;
+        let min = results.iter().min().unwrap();
+        let max = results.iter().max().unwrap();
+        println!(
+            "{}/{id}: mean {mean:?} min {min:?} max {max:?} ({} samples)",
+            self.name,
+            results.len()
+        );
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` passes `--test` to bench targets; run each body once
+        // in that mode.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; argument handling happens in
+    /// `Default::default`.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+        }
+    }
+}
+
+/// Declares a function running the listed benchmarks with a fresh
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_time_and_report() {
+        let mut c = Criterion { test_mode: true };
+        let mut group = c.benchmark_group("unit");
+        let mut runs = 0usize;
+        group.sample_size(10).bench_function("count", |b| {
+            b.iter(|| runs += 1);
+        });
+        group.bench_with_input(BenchmarkId::new("with_input", 4), &4usize, |b, &n| {
+            b.iter(|| n * 2);
+        });
+        group.finish();
+        // warm-up + one timed sample in test mode
+        assert_eq!(runs, 2);
+    }
+}

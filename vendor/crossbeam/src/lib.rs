@@ -1,0 +1,74 @@
+//! Offline stand-in for `crossbeam`, covering `crossbeam::thread::scope`.
+//!
+//! Backed by `std::thread::scope` (stable since 1.63), wrapped in
+//! crossbeam's result-returning signature. Nested scope handles are not
+//! supported: the closure passed to [`thread::Scope::spawn`] receives a
+//! placeholder token instead of a re-entrant scope, which is all this
+//! workspace's fan-out/join usage needs.
+
+pub mod thread {
+    //! Scoped threads with the crossbeam calling convention.
+
+    /// Token passed to spawned closures where crossbeam would pass the scope.
+    ///
+    /// Spawning nested scoped threads through it is unsupported.
+    pub struct SpawnToken(());
+
+    /// Scope handle for spawning borrowing threads.
+    pub struct Scope<'scope, 'env> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle joining one spawned thread.
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, returning its result
+        /// (`Err` if it panicked).
+        pub fn join(self) -> std::thread::Result<T> {
+            self.0.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure's argument is a placeholder
+        /// for crossbeam's nested scope.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&SpawnToken) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle(self.inner.spawn(move || f(&SpawnToken(()))))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing threads can be spawned; all
+    /// spawned threads are joined before this returns.
+    ///
+    /// Unlike crossbeam, a panicking child propagates by panicking here
+    /// rather than by returning `Err`; callers that `.expect()` the result
+    /// observe the same abort-on-panic behaviour either way.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_borrowing_threads() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = super::thread::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|part| scope.spawn(move |_| part.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+}

@@ -1,0 +1,321 @@
+//! The JSON-shaped value tree shared by `serde` and `serde_json`.
+//!
+//! Lives here (rather than in `serde_json`) because the [`Serialize`] trait
+//! produces it directly; `serde_json` re-exports it as `serde_json::Value`.
+//!
+//! Objects preserve insertion order (a `Vec` of pairs, like serde_json with
+//! `preserve_order`), so serialized structs keep their field order.
+
+use std::fmt;
+use std::ops::Index;
+
+/// A JSON number: unsigned, signed, or floating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// A non-negative integer.
+    UInt(u64),
+    /// A negative integer.
+    Int(i64),
+    /// A finite float.
+    Float(f64),
+}
+
+impl Number {
+    /// Wraps a `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        Number::UInt(v)
+    }
+
+    /// Wraps an `i64`, normalizing non-negative values to [`Number::UInt`].
+    pub fn from_i64(v: i64) -> Self {
+        if v >= 0 {
+            Number::UInt(v as u64)
+        } else {
+            Number::Int(v)
+        }
+    }
+
+    /// Wraps a finite `f64`, normalizing integral values without precision
+    /// loss to integers (so `2.0` round-trips as `2`, matching JSON text).
+    pub fn from_f64(v: f64) -> Self {
+        if v.fract() == 0.0 && v.abs() < 9.007_199_254_740_992e15 {
+            // 2^53: below this every integral f64 is exact.
+            if v >= 0.0 {
+                Number::UInt(v as u64)
+            } else {
+                Number::Int(v as i64)
+            }
+        } else {
+            Number::Float(v)
+        }
+    }
+
+    /// This number as `f64`.
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::UInt(v) => v as f64,
+            Number::Int(v) => v as f64,
+            Number::Float(v) => v,
+        }
+    }
+
+    /// This number as `u64` if non-negative integral.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::UInt(v) => Some(v),
+            Number::Int(_) | Number::Float(_) => None,
+        }
+    }
+
+    /// This number as `i64` if integral and in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::UInt(v) => i64::try_from(v).ok(),
+            Number::Int(v) => Some(v),
+            Number::Float(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Number::UInt(v) => write!(f, "{v}"),
+            Number::Int(v) => write!(f, "{v}"),
+            Number::Float(v) => {
+                // Keep a float marker so the value re-parses as written.
+                if v.fract() == 0.0 && v.is_finite() && v.abs() < 1e15 {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+        }
+    }
+}
+
+/// A JSON value tree.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// JSON `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An ordered array.
+    Array(Vec<Value>),
+    /// An object; field order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Human-readable name of this value's JSON type.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// `true` if this is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// `true` if this is a number.
+    pub fn is_number(&self) -> bool {
+        matches!(self, Value::Number(_))
+    }
+
+    /// `true` if this is a string.
+    pub fn is_string(&self) -> bool {
+        matches!(self, Value::String(_))
+    }
+
+    /// `true` if this is an object.
+    pub fn is_object(&self) -> bool {
+        matches!(self, Value::Object(_))
+    }
+
+    /// `true` if this is an array.
+    pub fn is_array(&self) -> bool {
+        matches!(self, Value::Array(_))
+    }
+
+    /// The number as `f64`, if a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The number as non-negative `u64`, if one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The number as `i64`, if integral.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The string slice, if a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The object entries (in insertion order), if an object.
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Looks up a field of an object; `None` for missing fields or
+    /// non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+const NULL: Value = Value::Null;
+
+impl Index<&str> for Value {
+    type Output = Value;
+    /// Field access; missing fields and non-objects index to `Null` (like
+    /// serde_json).
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl Index<usize> for Value {
+    type Output = Value;
+    /// Array element access; out of range indexes to `Null`.
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+macro_rules! eq_int {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                match self {
+                    Value::Number(n) => {
+                        #[allow(unused_comparisons)]
+                        if *other < 0 {
+                            n.as_i64() == Some(*other as i64)
+                        } else {
+                            n.as_u64() == Some(*other as u64)
+                        }
+                    }
+                    _ => false,
+                }
+            }
+        }
+        impl PartialEq<Value> for $t {
+            fn eq(&self, other: &Value) -> bool {
+                other == self
+            }
+        }
+    )*};
+}
+
+eq_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_missing_fields_yields_null() {
+        let v = Value::Object(vec![("a".into(), Value::Bool(true))]);
+        assert_eq!(v["a"], true);
+        assert!(v["missing"].is_null());
+        assert!(v["a"]["nested"].is_null());
+    }
+
+    #[test]
+    fn numbers_compare_across_representations() {
+        let v = Value::Number(Number::from_f64(16.0));
+        assert_eq!(v, 16);
+        assert_eq!(v, 16u64);
+        assert_eq!(v.as_u64(), Some(16));
+        let neg = Value::Number(Number::from_i64(-3));
+        assert_eq!(neg, -3);
+        assert_eq!(neg.as_u64(), None);
+    }
+
+    #[test]
+    fn integral_floats_normalize() {
+        assert_eq!(Number::from_f64(2.0), Number::UInt(2));
+        assert_eq!(Number::from_f64(2.5), Number::Float(2.5));
+        assert_eq!(Number::from_f64(-4.0), Number::Int(-4));
+    }
+}

@@ -1,0 +1,514 @@
+//! Offline `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored `serde` stand-in.
+//!
+//! crates.io is unreachable in this build environment, so there is no `syn`
+//! or `quote`; the item definition is parsed directly from the
+//! `proc_macro::TokenStream` and the generated impl is assembled as source
+//! text. Supported shapes — the ones this workspace derives on:
+//!
+//! * structs with named fields (honouring `#[serde(skip)]` and
+//!   `#[serde(transparent)]`),
+//! * tuple structs (newtypes serialize as their inner value, like serde),
+//! * enums with unit, tuple, and struct variants (externally tagged).
+//!
+//! Generics are not supported and produce a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (value-tree flavour).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives `serde::Deserialize` (value-tree flavour).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let source = match parse_item(input) {
+        Ok(item) => match mode {
+            Mode::Serialize => gen_serialize(&item),
+            Mode::Deserialize => gen_deserialize(&item),
+        },
+        Err(msg) => format!("::core::compile_error!({msg:?});"),
+    };
+    source
+        .parse()
+        .unwrap_or_else(|e| panic!("serde_derive generated invalid Rust: {e}\n{source}"))
+}
+
+// ---------------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    transparent: bool,
+    shape: Shape,
+}
+
+enum Shape {
+    /// Named-field struct: (field ident, skipped).
+    Struct(Vec<(String, bool)>),
+    /// Tuple struct with N fields.
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    payload: Payload,
+}
+
+enum Payload {
+    Unit,
+    /// Tuple variant with N fields.
+    Tuple(usize),
+    /// Struct variant field names.
+    Struct(Vec<String>),
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == ch {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == word {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Consumes leading `#[...]` attributes, returning the idents found
+    /// inside any `#[serde(...)]` among them (e.g. `skip`, `transparent`).
+    fn eat_attrs(&mut self) -> Vec<String> {
+        let mut serde_words = Vec::new();
+        while self.eat_punct('#') {
+            match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    let mut inner = g.stream().into_iter();
+                    if let Some(TokenTree::Ident(head)) = inner.next() {
+                        if head.to_string() == "serde" {
+                            if let Some(TokenTree::Group(args)) = inner.next() {
+                                for t in args.stream() {
+                                    if let TokenTree::Ident(w) = t {
+                                        serde_words.push(w.to_string());
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        serde_words
+    }
+
+    /// Consumes a visibility qualifier (`pub`, `pub(crate)`, …) if present.
+    fn eat_visibility(&mut self) {
+        if self.eat_ident("pub") {
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    /// Skips tokens until a `,` at angle-bracket depth 0, consuming it.
+    /// Stops (without error) at end of stream.
+    fn skip_type(&mut self) {
+        let mut angle_depth = 0i32;
+        while let Some(t) = self.peek() {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        self.pos += 1;
+                        return;
+                    }
+                    _ => {}
+                }
+            }
+            self.pos += 1;
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut c = Cursor::new(input);
+    let item_serde = c.eat_attrs();
+    c.eat_visibility();
+
+    let is_struct = if c.eat_ident("struct") {
+        true
+    } else if c.eat_ident("enum") {
+        false
+    } else {
+        return Err("serde_derive: expected `struct` or `enum`".to_string());
+    };
+
+    let name = match c.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde_derive: expected an item name".to_string()),
+    };
+
+    if matches!(c.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde_derive: generic type `{name}` is not supported by the vendored derive"
+        ));
+    }
+
+    let transparent = item_serde.iter().any(|w| w == "transparent");
+
+    let shape = match c.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace && is_struct => {
+            Shape::Struct(parse_named_fields(g.stream())?)
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis && is_struct => {
+            Shape::TupleStruct(count_tuple_fields(g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace && !is_struct => {
+            Shape::Enum(parse_variants(g.stream())?)
+        }
+        _ => {
+            return Err(format!(
+                "serde_derive: unsupported body for `{name}` (unit structs are not derived)"
+            ))
+        }
+    };
+
+    Ok(Item {
+        name,
+        transparent,
+        shape,
+    })
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<(String, bool)>, String> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while c.peek().is_some() {
+        let serde_words = c.eat_attrs();
+        c.eat_visibility();
+        let name = match c.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("serde_derive: expected field name, got {other}")),
+            None => break,
+        };
+        if !c.eat_punct(':') {
+            return Err(format!("serde_derive: expected `:` after field `{name}`"));
+        }
+        c.skip_type();
+        let skip = serde_words.iter().any(|w| w == "skip");
+        fields.push((name, skip));
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut c = Cursor::new(stream);
+    let mut count = 0;
+    while c.peek().is_some() {
+        c.eat_attrs();
+        c.eat_visibility();
+        if c.peek().is_none() {
+            break;
+        }
+        c.skip_type();
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while c.peek().is_some() {
+        c.eat_attrs();
+        let name = match c.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("serde_derive: expected variant name, got {other}")),
+            None => break,
+        };
+        let payload = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                c.pos += 1;
+                Payload::Struct(fields.into_iter().map(|(n, _)| n).collect())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                c.pos += 1;
+                Payload::Tuple(n)
+            }
+            _ => Payload::Unit,
+        };
+        // Consume an explicit discriminant (`= expr`) and the trailing comma.
+        while let Some(t) = c.peek() {
+            if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                c.pos += 1;
+                break;
+            }
+            c.pos += 1;
+        }
+        variants.push(Variant { name, payload });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+/// Identifier as written in code vs. as a JSON field name (strips `r#`).
+fn json_name(ident: &str) -> &str {
+    ident.strip_prefix("r#").unwrap_or(ident)
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            if item.transparent {
+                let only = &fields[0].0;
+                format!("::serde::Serialize::serialize(&self.{only})")
+            } else {
+                let mut entries = String::new();
+                for (field, skip) in fields {
+                    if *skip {
+                        continue;
+                    }
+                    entries.push_str(&format!(
+                        "(::std::string::String::from({:?}), \
+                         ::serde::Serialize::serialize(&self.{field})),",
+                        json_name(field)
+                    ));
+                }
+                format!("::serde::Value::Object(::std::vec![{entries}])")
+            }
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(","))
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                let tag = json_name(vname);
+                match &v.payload {
+                    Payload::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => \
+                         ::serde::Value::String(::std::string::String::from({tag:?})),"
+                    )),
+                    Payload::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(__f0) => ::serde::Value::Object(::std::vec![(\
+                         ::std::string::String::from({tag:?}), \
+                         ::serde::Serialize::serialize(__f0))]),"
+                    )),
+                    Payload::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from({tag:?}), \
+                             ::serde::Value::Array(::std::vec![{}]))]),",
+                            binds.join(","),
+                            items.join(",")
+                        ));
+                    }
+                    Payload::Struct(fields) => {
+                        let binds = fields.join(",");
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from({:?}), \
+                                     ::serde::Serialize::serialize({f}))",
+                                    json_name(f)
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(\
+                             ::std::vec![(::std::string::String::from({tag:?}), \
+                             ::serde::Value::Object(::std::vec![{}]))]),",
+                            entries.join(",")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            if item.transparent {
+                let only = &fields[0].0;
+                format!(
+                    "::std::result::Result::Ok({name} {{ \
+                     {only}: ::serde::Deserialize::deserialize(value)? }})"
+                )
+            } else {
+                let mut inits = String::new();
+                for (field, skip) in fields {
+                    if *skip {
+                        inits.push_str(&format!("{field}: ::std::default::Default::default(),"));
+                    } else {
+                        inits.push_str(&format!(
+                            "{field}: ::serde::__private::field(value, {:?})?,",
+                            json_name(field)
+                        ));
+                    }
+                }
+                format!("::std::result::Result::Ok({name} {{ {inits} }})")
+            }
+        }
+        Shape::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(value)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::deserialize(\
+                         &__items[{i}])?"
+                    )
+                })
+                .collect();
+            format!(
+                "let __items = value.as_array().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected array\"))?;\n\
+                 if __items.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::Error::custom(\"wrong tuple length\")); }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                elems.join(",")
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                let tag = json_name(vname);
+                match &v.payload {
+                    Payload::Unit => arms.push_str(&format!(
+                        "{tag:?} => ::std::result::Result::Ok({name}::{vname}),"
+                    )),
+                    Payload::Tuple(1) => arms.push_str(&format!(
+                        "{tag:?} => ::std::result::Result::Ok({name}::{vname}(\
+                         ::serde::Deserialize::deserialize(__payload)?)),"
+                    )),
+                    Payload::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::deserialize(&__items[{i}])?"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{tag:?} => {{\n\
+                             let __items = __payload.as_array().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected array payload\"))?;\n\
+                             if __items.len() != {n} {{ return ::std::result::Result::Err(\
+                             ::serde::Error::custom(\"wrong variant arity\")); }}\n\
+                             ::std::result::Result::Ok({name}::{vname}({}))\n\
+                             }},",
+                            elems.join(",")
+                        ));
+                    }
+                    Payload::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::__private::field(__payload, {:?})?",
+                                    json_name(f)
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{tag:?} => ::std::result::Result::Ok({name}::{vname} {{ {} }}),",
+                            inits.join(",")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "let (__tag, __payload) = ::serde::__private::variant(value)?;\n\
+                 match __tag {{ {arms} __other => ::std::result::Result::Err(\
+                 ::serde::Error::custom(::std::format!(\
+                 \"unknown variant {{__other:?}} of {name}\"))) }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(value: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+}

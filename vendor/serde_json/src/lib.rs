@@ -1,0 +1,178 @@
+//! Offline stand-in for `serde_json`, layered on the vendored `serde`
+//! value tree.
+//!
+//! Serialization walks the [`Value`] produced by `serde::Serialize` and
+//! renders JSON text (compact or pretty, 2-space indent); deserialization
+//! parses JSON text into a [`Value`] and hands it to `serde::Deserialize`.
+//! Output conventions match real serde_json where this workspace can
+//! observe them: object field order is preserved, non-finite floats were
+//! already mapped to `null` by the serializer, and `to_string_pretty`
+//! indents with two spaces.
+
+mod parse;
+mod write;
+
+pub use parse::from_str;
+pub use serde::{Number, Value};
+
+use serde::{Deserialize, Serialize};
+
+/// Error raised by JSON parsing (serialization to text is infallible but
+/// keeps `Result` signatures for API compatibility).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.serialize()
+}
+
+/// Serializes to compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write::compact(&value.serialize(), &mut out);
+    Ok(out)
+}
+
+/// Serializes to pretty-printed JSON text (2-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write::pretty(&value.serialize(), &mut out, 0);
+    Ok(out)
+}
+
+/// Serializes to compact JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Serializes to pretty-printed JSON bytes.
+pub fn to_vec_pretty<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string_pretty(value).map(String::into_bytes)
+}
+
+/// Deserializes from JSON bytes (must be UTF-8).
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let text = std::str::from_utf8(bytes).map_err(|e| Error::new(format!("invalid UTF-8: {e}")))?;
+    from_str(text)
+}
+
+/// Builds a [`Value`] in place.
+///
+/// Object values and array elements must each be a single token tree:
+/// literals, identifiers, nested `{...}` / `[...]`, or an arbitrary
+/// expression wrapped in parentheses — `json!({"len": (xs.len())})`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:tt),* $(,)? ]) => {
+        $crate::Value::Array(::std::vec![ $( $crate::json!($elem) ),* ])
+    };
+    ({ $($key:literal : $value:tt),* $(,)? }) => {
+        $crate::Value::Object(::std::vec![
+            $( (::std::string::String::from($key), $crate::json!($value)) ),*
+        ])
+    };
+    ($other:expr) => {
+        $crate::to_value(&$other)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_nested_objects() {
+        let n = 7usize;
+        let v = json!({
+            "name": "kgfd",
+            "count": n,
+            "nested": { "flag": true, "items": [1, 2, 3] },
+            "nothing": null,
+        });
+        assert_eq!(v["name"], "kgfd");
+        assert_eq!(v["count"], 7);
+        assert_eq!(v["nested"]["flag"], true);
+        assert_eq!(v["nested"]["items"][2], 3);
+        assert!(v["nothing"].is_null());
+    }
+
+    #[test]
+    fn round_trips_typed_values() {
+        #[derive(Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+        struct Point {
+            x: f64,
+            label: String,
+            tags: Vec<u32>,
+        }
+        let p = Point {
+            x: -1.25,
+            label: "a \"quoted\" name\n".to_string(),
+            tags: vec![1, 2, 3],
+        };
+        let text = to_string(&p).unwrap();
+        let back: Point = from_str(&text).unwrap();
+        assert_eq!(back, p);
+
+        let pretty = to_string_pretty(&p).unwrap();
+        let back2: Point = from_str(&pretty).unwrap();
+        assert_eq!(back2, p);
+        assert!(pretty.contains("\n  \"x\""));
+    }
+
+    #[test]
+    fn nan_serializes_as_null() {
+        let text = to_string(&f64::NAN).unwrap();
+        assert_eq!(text, "null");
+    }
+
+    #[test]
+    fn untyped_value_parsing() {
+        let v: Value = from_str(r#"{"a": [1, 2.5, "x", false, null], "b": {"c": -3}}"#).unwrap();
+        assert_eq!(v["a"][0], 1);
+        assert_eq!(v["a"][1], 2.5);
+        assert_eq!(v["a"][2], "x");
+        assert_eq!(v["a"][3], false);
+        assert!(v["a"][4].is_null());
+        assert_eq!(v["b"]["c"], -3);
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(from_str::<Value>("{\"a\": }").is_err());
+        assert!(from_str::<Value>("[1, 2").is_err());
+        assert!(from_str::<Value>("tru").is_err());
+        assert!(from_str::<Value>("1 trailing").is_err());
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let original = "tab\t newline\n quote\" backslash\\ unicode\u{263A} control\u{0001}";
+        let text = to_string(&original.to_string()).unwrap();
+        let back: String = from_str(&text).unwrap();
+        assert_eq!(back, original);
+    }
+}

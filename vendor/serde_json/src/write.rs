@@ -1,0 +1,98 @@
+//! JSON text emission (compact and pretty).
+
+use serde::Value;
+
+/// Writes `value` as compact JSON (no whitespace).
+pub(crate) fn compact(value: &Value, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => escape_into(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                compact(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                escape_into(key, out);
+                out.push(':');
+                compact(item, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Writes `value` as pretty JSON with 2-space indentation.
+pub(crate) fn pretty(value: &Value, out: &mut String, depth: usize) {
+    match value {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                indent(out, depth + 1);
+                pretty(item, out, depth + 1);
+            }
+            out.push('\n');
+            indent(out, depth);
+            out.push(']');
+        }
+        Value::Object(entries) if !entries.is_empty() => {
+            out.push_str("{\n");
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                indent(out, depth + 1);
+                escape_into(key, out);
+                out.push_str(": ");
+                pretty(item, out, depth + 1);
+            }
+            out.push('\n');
+            indent(out, depth);
+            out.push('}');
+        }
+        other => compact(other, out),
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+/// Writes `s` as a quoted JSON string with the required escapes.
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
