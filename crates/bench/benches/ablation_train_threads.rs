@@ -1,0 +1,53 @@
+//! Thread-scaling ablation of the data-parallel trainer: epoch throughput
+//! at 1/2/4/8 workers on configurations heavy enough that per-batch
+//! work dominates the scoped-thread spawn cost. Training is bit-identical
+//! across all thread counts (see `tests/determinism.rs`), so this measures
+//! pure wall-clock scaling.
+//!
+//! Interpreting the numbers: speedup tops out at the machine's core count.
+//! On a single-core runner (CI containers are often pinned to one CPU) all
+//! thread counts time alike, single-thread plus bounded spawn overhead —
+//! the useful signal there is that the overhead stays small.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kgfd_embed::{train, LossKind, ModelKind, OptimizerKind, TrainConfig};
+use kgfd_harness::{DatasetRef, Scale};
+use std::hint::black_box;
+
+fn config(threads: usize) -> TrainConfig {
+    TrainConfig {
+        // Heavy per-positive work: wide embeddings and several negatives,
+        // so an epoch is compute-bound rather than spawn-bound.
+        dim: 64,
+        epochs: 2,
+        batch_size: 512,
+        negatives: 8,
+        loss: LossKind::BinaryCrossEntropy,
+        optimizer: OptimizerKind::Adam { lr: 0.01 },
+        filter_negatives: true,
+        normalize_entities: false,
+        adversarial_temperature: None,
+        seed: 17,
+        threads,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    kgfd_bench::banner("Ablation — training thread scaling (epoch throughput)");
+
+    let data = DatasetRef::Fb15k237.load(Scale::Mini);
+    for kind in [ModelKind::ComplEx, ModelKind::Rescal] {
+        let mut group = c.benchmark_group(format!("train_threads_{}", kind.name()));
+        group.sample_size(10);
+        for threads in [1usize, 2, 4, 8] {
+            let cfg = config(threads);
+            group.bench_with_input(BenchmarkId::from_parameter(threads), &cfg, |b, cfg| {
+                b.iter(|| black_box(train(kind, &data.train, cfg)))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

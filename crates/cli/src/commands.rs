@@ -44,16 +44,19 @@ COMMANDS:
             --model <transe|distmult|complex|rescal|hole|conve|rotate|simple|tucker>
             [--dim 32] [--epochs 30] [--lr 0.01] [--loss <margin|bce>]
             [--negatives 4] [--adversarial <TEMP>] [--seed 0]
-            [--valid <TSV> --early-stop]
-            train an embedding model and save it
+            [--threads <N>] [--valid <TSV> --early-stop]
+            train an embedding model and save it; --threads splits each
+            mini-batch across N workers (results are bit-identical for
+            any N; defaults to KGFD_THREADS or the CPU count, capped at 8)
   eval      --train <TSV> --test <TSV> --model-file <FILE> [--valid <TSV>]
             [--per-relation]
             filtered link-prediction metrics (MRR, Hits@k)
   discover  --train <TSV> --model-file <FILE> [--strategy <ur|ef|gd|cc|ct|cs|pr>]
             [--top-n 500] [--max-candidates 500] [--relation <LABEL>]
             [--explore <EPS>] [--consolidate] [--prune] [--seed 0]
-            [--heldout <TSV>] [--out <TSV>]
-            discover missing facts (Algorithm 1 of the paper)
+            [--threads <N>] [--heldout <TSV>] [--out <TSV>]
+            discover missing facts (Algorithm 1 of the paper); --threads
+            sets the candidate-ranking worker count
   audit-inverse --train <TSV> [--threshold 0.8]
             detect inverse-relation test-leakage pairs
   fit       --train <TSV> [--name <NAME>] [--seed 0]
@@ -323,7 +326,11 @@ fn cmd_train(args: &Args) -> CmdResult {
             None => None,
         },
         seed: args.parse_or("seed", 0, "integer")?,
+        threads: args.parse_or("threads", TrainConfig::default_threads(), "integer")?,
     };
+    config
+        .validate()
+        .map_err(|e| format!("invalid training configuration: {e}"))?;
 
     let (model, summary, final_loss): (Box<dyn KgeModel>, String, Option<f64>) =
         if args.flag("early-stop") {
@@ -367,7 +374,8 @@ fn cmd_train(args: &Args) -> CmdResult {
         .with_config("dim", config.dim)
         .with_config("epochs", config.epochs)
         .with_config("batch_size", config.batch_size)
-        .with_config("negatives", config.negatives);
+        .with_config("negatives", config.negatives)
+        .with_config("threads", config.threads);
     if let Some(loss) = final_loss {
         // NaN (zero-epoch run) is reported as text, never NaN-in-JSON.
         manifest = if loss.is_finite() {
@@ -481,8 +489,12 @@ fn cmd_discover(args: &Args) -> CmdResult {
         consolidate_sides: args.flag("consolidate"),
         prune_with_rules: args.flag("prune"),
         seed: args.parse_or("seed", 0, "integer")?,
+        threads: args.parse_or("threads", DiscoveryConfig::default().threads, "integer")?,
         ..DiscoveryConfig::default()
     };
+    if config.threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
     let report = discover_facts(model.as_ref(), &store, &config);
 
     let mut facts = report.facts.clone();

@@ -7,7 +7,7 @@ use std::time::Duration;
 
 /// One discovered fact: a triple absent from the input graph that ranked
 /// within `top_n` against its corruptions.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct DiscoveredFact {
     /// The candidate triple.
     pub triple: Triple,
@@ -16,7 +16,7 @@ pub struct DiscoveredFact {
 }
 
 /// Per-relation accounting of the discovery loop.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct RelationBreakdown {
     /// The relation facts were generated for.
     pub relation: RelationId,
@@ -36,7 +36,7 @@ pub struct RelationBreakdown {
 }
 
 /// The output of [`crate::discover_facts`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct DiscoveryReport {
     /// Strategy that produced this report.
     pub strategy: StrategyKind,

@@ -42,4 +42,6 @@ pub use negative::{CorruptSide, NegativeSampler};
 pub use optim::{Optimizer, OptimizerKind};
 pub use params::{Gradients, ParamTable, Parameters, ENTITY_TABLE, RELATION_TABLE};
 pub use persist::{load_model, save_model, save_transe};
-pub use trainer::{train, train_into, TrainConfig, TrainStats};
+pub use trainer::{
+    negative_stream, train, train_into, TrainConfig, TrainConfigError, TrainStats, SHARD_SIZE,
+};

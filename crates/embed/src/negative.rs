@@ -32,6 +32,17 @@ impl NegativeSampler {
         }
     }
 
+    /// A sampler with an explicit retry budget for filtered sampling. The
+    /// default budget (10) trades a rare accidentally-true negative for
+    /// bounded work on dense graphs; tests that need collision-freedom in
+    /// practice can raise it.
+    pub fn with_max_retries(num_entities: usize, max_retries: usize) -> Self {
+        NegativeSampler {
+            num_entities,
+            max_retries,
+        }
+    }
+
     /// Corrupts `t` on the configured side. If `filter` is given, re-samples
     /// (up to a bounded number of retries) when the corruption is a known
     /// true triple — the "filtered" negative sampling setting.

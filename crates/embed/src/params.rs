@@ -170,6 +170,18 @@ impl Gradients {
     pub fn clear(&mut self) {
         self.grads.clear();
     }
+
+    /// Accumulates every gradient of `other` into `self`.
+    ///
+    /// Bit-exact: a row absent from `self` is copied (`0 + x = x` and
+    /// `x * 1.0 = x` hold exactly in IEEE-754), and rows are independent, so
+    /// calling this once per shard buffer in ascending shard order
+    /// reproduces the float-addition order of a sequential pass.
+    pub fn merge_from(&mut self, other: &Gradients) {
+        for (table, row, grad) in other.iter() {
+            self.add(table, row, grad, 1.0);
+        }
+    }
 }
 
 #[cfg(test)]

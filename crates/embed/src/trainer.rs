@@ -1,9 +1,31 @@
-//! The mini-batch training loop.
+//! The mini-batch training loop, data-parallel and deterministic.
 //!
 //! Deterministic given a seed: triple order, negative samples, and
 //! initialization all derive from `TrainConfig::seed`, so two runs of the
 //! same configuration produce bit-identical models — a property the
 //! integration tests assert.
+//!
+//! # Determinism contract (thread-count invariance)
+//!
+//! Training is additionally invariant under [`TrainConfig::threads`]: for a
+//! fixed seed, `threads = 1` and `threads = N` produce bit-identical
+//! embeddings and epoch losses. Three rules make this hold exactly, not
+//! approximately:
+//!
+//! 1. **Fixed sharding.** Every mini-batch is cut into logical shards of
+//!    [`SHARD_SIZE`] consecutive positives. The shard structure depends only
+//!    on `batch_size` and the data — never on the thread count. Threads are
+//!    merely the pool that consumes shards.
+//! 2. **Index-derived RNG streams.** Each shard's negative sampling draws
+//!    from its own generator, derived by [`negative_stream`] from
+//!    `(seed, epoch, shard index)`. Which OS thread processes a shard is
+//!    therefore irrelevant to what it samples.
+//! 3. **Fixed reduction order.** Each shard accumulates gradients and loss
+//!    into its own buffer; buffers are reduced into the batch gradient in
+//!    ascending shard order on one thread. Floating-point accumulation
+//!    order is thus a pure function of the shard structure.
+//!
+//! The differential suite in `tests/determinism.rs` locks the contract in.
 
 use crate::{
     new_model, CorruptSide, Gradients, KgeModel, LossKind, ModelKind, NegativeSampler,
@@ -14,6 +36,13 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Positives per logical shard. A fixed constant — the shard structure (and
+/// with it the RNG stream assignment and gradient reduction order) must not
+/// depend on [`TrainConfig::threads`], or determinism across thread counts
+/// would break.
+pub const SHARD_SIZE: usize = 16;
 
 /// Hyperparameters of one training run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -22,7 +51,8 @@ pub struct TrainConfig {
     pub dim: usize,
     /// Number of passes over the training triples.
     pub epochs: usize,
-    /// Positives per optimizer step.
+    /// Positives per optimizer step. Must be at least 1
+    /// (see [`TrainConfig::validate`]).
     pub batch_size: usize,
     /// Negative samples per positive.
     pub negatives: usize,
@@ -41,6 +71,71 @@ pub struct TrainConfig {
     pub adversarial_temperature: Option<f32>,
     /// Seed controlling init, shuffling, and negative sampling.
     pub seed: u64,
+    /// Worker threads each mini-batch is split across. Must be at least 1.
+    /// Any value yields bit-identical results for a given seed (see the
+    /// module docs); more threads only buy wall-clock speed.
+    pub threads: usize,
+}
+
+/// A [`TrainConfig`] that cannot be trained with, caught by
+/// [`TrainConfig::validate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrainConfigError {
+    /// `batch_size` was 0 — there would be no optimizer steps to take.
+    ZeroBatchSize,
+    /// `threads` was 0 — no worker could process a shard.
+    ZeroThreads,
+    /// `dim` was 0 — every model would be an empty embedding.
+    ZeroDim,
+}
+
+impl std::fmt::Display for TrainConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainConfigError::ZeroBatchSize => f.write_str("batch_size must be at least 1"),
+            TrainConfigError::ZeroThreads => f.write_str("threads must be at least 1"),
+            TrainConfigError::ZeroDim => f.write_str("dim must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for TrainConfigError {}
+
+impl TrainConfig {
+    /// The default worker count: the `KGFD_THREADS` environment variable
+    /// when set to a positive integer (the CI matrix pins it to exercise
+    /// both the sequential and parallel paths), otherwise the machine's
+    /// available parallelism capped at 8.
+    pub fn default_threads() -> usize {
+        if let Ok(raw) = std::env::var("KGFD_THREADS") {
+            if let Ok(n) = raw.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|p| p.get().min(8))
+            .unwrap_or(1)
+    }
+
+    /// Checks the configuration for values training cannot honour.
+    ///
+    /// `batch_size = 0` used to be silently clamped to 1 inside the loop;
+    /// it is now rejected here so a misconfiguration surfaces as an error
+    /// instead of training with a different effective hyperparameter.
+    pub fn validate(&self) -> Result<(), TrainConfigError> {
+        if self.batch_size == 0 {
+            return Err(TrainConfigError::ZeroBatchSize);
+        }
+        if self.threads == 0 {
+            return Err(TrainConfigError::ZeroThreads);
+        }
+        if self.dim == 0 {
+            return Err(TrainConfigError::ZeroDim);
+        }
+        Ok(())
+    }
 }
 
 impl Default for TrainConfig {
@@ -56,6 +151,7 @@ impl Default for TrainConfig {
             normalize_entities: false,
             adversarial_temperature: None,
             seed: 0,
+            threads: TrainConfig::default_threads(),
         }
     }
 }
@@ -74,12 +170,38 @@ impl TrainStats {
     }
 }
 
+/// The negative-sampling generator of one logical shard.
+///
+/// Derived purely from `(seed, epoch, shard)` — never from the thread count
+/// or any runtime state — so the stream a shard draws is a static property
+/// of the run configuration. Distinct coordinates land on statistically
+/// independent streams (two rounds of SplitMix64 mixing feed the xoshiro
+/// state expansion).
+pub fn negative_stream(seed: u64, epoch: u64, shard: u64) -> StdRng {
+    let mut x = seed ^ splitmix64(epoch.wrapping_add(0x517C_C1B7_2722_0A95));
+    x = splitmix64(x).wrapping_add(shard.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    StdRng::seed_from_u64(splitmix64(x))
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Trains a fresh model of `kind` on `store`.
 ///
 /// Models flagged [`KgeModel::reciprocal`] (ConvE) are trained on the
 /// reciprocal-augmented triple set `(s, r, o) ∪ (o, r + K, s)` with
 /// object-side corruption only, matching LibKGE's ConvE recipe; all others
 /// use Bordes-style both-side corruption.
+///
+/// # Panics
+///
+/// Panics if `config` fails [`TrainConfig::validate`] (e.g. a zero
+/// `batch_size`). Callers building configs from user input should validate
+/// first and surface the error.
 pub fn train(
     kind: ModelKind,
     store: &TripleStore,
@@ -96,12 +218,88 @@ pub fn train(
     (model, stats)
 }
 
+/// Per-shard accumulation buffers; workers never share these, and the main
+/// thread reduces them in ascending shard order.
+struct ShardOutput {
+    grads: Gradients,
+    loss_sum: f64,
+    pairs: u64,
+    sampling: Duration,
+}
+
+impl ShardOutput {
+    fn new() -> Self {
+        ShardOutput {
+            grads: Gradients::new(),
+            loss_sum: 0.0,
+            pairs: 0,
+            sampling: Duration::ZERO,
+        }
+    }
+
+    fn clear(&mut self) {
+        self.grads.clear();
+        self.loss_sum = 0.0;
+        self.pairs = 0;
+        self.sampling = Duration::ZERO;
+    }
+}
+
+/// Scores and backpropagates one shard's positives against the frozen
+/// per-batch model snapshot, accumulating into `out`.
+#[allow(clippy::too_many_arguments)]
+fn process_shard(
+    model: &dyn KgeModel,
+    shard: &[Triple],
+    mut rng: StdRng,
+    corrupt_side: CorruptSide,
+    filter: Option<&TripleStore>,
+    sampler: &NegativeSampler,
+    config: &TrainConfig,
+    out: &mut ShardOutput,
+) {
+    for &pos in shard {
+        let f_pos = model.score(pos);
+        // Negatives are drawn before scoring (rather than interleaved)
+        // so the sampling cost is measurable on its own; the RNG
+        // stream is identical either way.
+        let sample_start = Instant::now();
+        let neg_triples: Vec<Triple> = (0..config.negatives)
+            .map(|_| sampler.corrupt(pos, corrupt_side, filter, &mut rng))
+            .collect();
+        out.sampling += sample_start.elapsed();
+        let negs: Vec<(Triple, f32)> = neg_triples
+            .into_iter()
+            .map(|neg| (neg, model.score(neg)))
+            .collect();
+        let weights = negative_weights(&negs, config.adversarial_temperature);
+        for (&(neg, f_neg), &w) in negs.iter().zip(&weights) {
+            let pair = config.loss.pair(f_pos, f_neg);
+            out.loss_sum += (w * pair.value) as f64;
+            out.pairs += 1;
+            if pair.d_pos != 0.0 {
+                model.backward(pos, w * pair.d_pos, &mut out.grads);
+            }
+            if pair.d_neg != 0.0 {
+                model.backward(neg, w * pair.d_neg, &mut out.grads);
+            }
+        }
+    }
+}
+
 /// Trains an existing model in place (continue-training / warm starts).
+///
+/// # Panics
+///
+/// Panics if `config` fails [`TrainConfig::validate`]; see [`train`].
 pub fn train_into(
     model: &mut dyn KgeModel,
     store: &TripleStore,
     config: &TrainConfig,
 ) -> TrainStats {
+    if let Err(e) = config.validate() {
+        panic!("invalid TrainConfig: {e}");
+    }
     let reciprocal = model.reciprocal();
     let num_relations = model.num_relations() as u32;
     let mut triples: Vec<Triple> = store.triples().to_vec();
@@ -126,43 +324,104 @@ pub fn train_into(
     let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(1));
     let sampler = NegativeSampler::new(store.num_entities());
     let mut optimizer = config.optimizer.build(model.params());
+    let threads = config.threads;
+    // Shard buffers and the batch accumulator outlive the epoch loop so the
+    // HashMap allocations are reused across batches.
+    let mut outputs: Vec<ShardOutput> = Vec::new();
     let mut grads = Gradients::new();
     let mut epoch_losses = Vec::with_capacity(config.epochs);
 
     for epoch in 0..config.epochs {
-        let epoch_start = std::time::Instant::now();
-        let mut sampling = std::time::Duration::ZERO;
+        let epoch_start = Instant::now();
         triples.shuffle(&mut rng);
         let mut loss_sum = 0.0f64;
         let mut pairs = 0u64;
-        for batch in triples.chunks(config.batch_size.max(1)) {
-            grads.clear();
-            for &pos in batch {
-                let f_pos = model.score(pos);
-                // Negatives are drawn before scoring (rather than interleaved)
-                // so the sampling cost is measurable on its own; the RNG
-                // stream is identical either way.
-                let sample_start = std::time::Instant::now();
-                let neg_triples: Vec<Triple> = (0..config.negatives)
-                    .map(|_| sampler.corrupt(pos, corrupt_side, filter, &mut rng))
-                    .collect();
-                sampling += sample_start.elapsed();
-                let negs: Vec<(Triple, f32)> = neg_triples
-                    .into_iter()
-                    .map(|neg| (neg, model.score(neg)))
-                    .collect();
-                let weights = negative_weights(&negs, config.adversarial_temperature);
-                for (&(neg, f_neg), &w) in negs.iter().zip(&weights) {
-                    let pair = config.loss.pair(f_pos, f_neg);
-                    loss_sum += (w * pair.value) as f64;
-                    pairs += 1;
-                    if pair.d_pos != 0.0 {
-                        model.backward(pos, w * pair.d_pos, &mut grads);
-                    }
-                    if pair.d_neg != 0.0 {
-                        model.backward(neg, w * pair.d_neg, &mut grads);
-                    }
+        let mut worker_sampling = vec![Duration::ZERO; threads];
+        // Shards are numbered consecutively across the epoch; the counter
+        // (not the worker id) keys each shard's RNG stream.
+        let mut next_stream = 0u64;
+        for batch in triples.chunks(config.batch_size) {
+            let shards: Vec<&[Triple]> = batch.chunks(SHARD_SIZE).collect();
+            while outputs.len() < shards.len() {
+                outputs.push(ShardOutput::new());
+            }
+            let outs = &mut outputs[..shards.len()];
+            for out in outs.iter_mut() {
+                out.clear();
+            }
+            let first_stream = next_stream;
+            next_stream += shards.len() as u64;
+
+            // The pool never exceeds the shard count (an idle worker is pure
+            // spawn cost); its size only affects wall-clock time, never
+            // results.
+            let pool = threads.min(shards.len());
+            let model_view: &dyn KgeModel = &*model;
+            // Contiguous shard groups per worker; group membership only
+            // affects which thread runs a shard, never its stream or the
+            // reduction order below.
+            let per_worker = shards.len().div_ceil(pool);
+            if pool <= 1 {
+                for (i, (shard, out)) in shards.iter().zip(outs.iter_mut()).enumerate() {
+                    let stream =
+                        negative_stream(config.seed, epoch as u64, first_stream + i as u64);
+                    process_shard(
+                        model_view,
+                        shard,
+                        stream,
+                        corrupt_side,
+                        filter,
+                        &sampler,
+                        config,
+                        out,
+                    );
                 }
+            } else {
+                let sampler_ref = &sampler;
+                crossbeam::thread::scope(|scope| {
+                    for (w, (shard_group, out_group)) in shards
+                        .chunks(per_worker)
+                        .zip(outs.chunks_mut(per_worker))
+                        .enumerate()
+                    {
+                        scope.spawn(move |_| {
+                            for (i, (shard, out)) in
+                                shard_group.iter().zip(out_group.iter_mut()).enumerate()
+                            {
+                                let stream = negative_stream(
+                                    config.seed,
+                                    epoch as u64,
+                                    first_stream + (w * per_worker + i) as u64,
+                                );
+                                process_shard(
+                                    model_view,
+                                    shard,
+                                    stream,
+                                    corrupt_side,
+                                    filter,
+                                    sampler_ref,
+                                    config,
+                                    out,
+                                );
+                            }
+                        });
+                    }
+                })
+                .expect("training worker panicked");
+            }
+            for (w, out_group) in outs.chunks(per_worker).enumerate() {
+                for out in out_group {
+                    worker_sampling[w] += out.sampling;
+                }
+            }
+
+            // Reduce in ascending shard order — the fixed association that
+            // keeps float sums identical for every thread count.
+            grads.clear();
+            for out in outs.iter() {
+                grads.merge_from(&out.grads);
+                loss_sum += out.loss_sum;
+                pairs += out.pairs;
             }
             if grads.is_empty() {
                 continue;
@@ -191,21 +450,31 @@ pub fn train_into(
         };
         epoch_losses.push(mean_loss);
 
+        let sampling: Duration = worker_sampling.iter().sum();
         let wall = epoch_start.elapsed();
         kgfd_obs::histogram("embed.train.epoch_duration_us").record(wall.as_micros() as f64);
-        let epoch_field = vec![kgfd_obs::Field::new("epoch", epoch)];
-        kgfd_obs::metric("embed.train.epoch_loss", mean_loss, epoch_field.clone());
-        if wall > std::time::Duration::ZERO {
+        for slot in &worker_sampling {
+            // One observation per worker slot per epoch: the histogram's
+            // spread shows how evenly sampling cost lands across workers.
+            kgfd_obs::histogram("embed.train.worker_negative_sampling_us")
+                .record(slot.as_micros() as f64);
+        }
+        let epoch_fields = vec![
+            kgfd_obs::Field::new("epoch", epoch),
+            kgfd_obs::Field::new("threads", threads),
+        ];
+        kgfd_obs::metric("embed.train.epoch_loss", mean_loss, epoch_fields.clone());
+        if wall > Duration::ZERO {
             kgfd_obs::metric(
                 "embed.train.examples_per_sec",
                 triples.len() as f64 / wall.as_secs_f64(),
-                epoch_field.clone(),
+                epoch_fields.clone(),
             );
         }
         kgfd_obs::metric(
             "embed.train.negative_sampling_us",
             sampling.as_micros() as f64,
-            epoch_field,
+            epoch_fields,
         );
     }
     kgfd_obs::counter("embed.train.epochs").add(config.epochs as u64);
@@ -273,6 +542,28 @@ mod tests {
     }
 
     #[test]
+    fn thread_count_does_not_change_parameters() {
+        let data = toy_biomedical();
+        let mut sequential = quick_config();
+        sequential.threads = 1;
+        let mut parallel = quick_config();
+        parallel.threads = 4;
+        let (a, sa) = train(ModelKind::DistMult, &data.train, &sequential);
+        let (b, sb) = train(ModelKind::DistMult, &data.train, &parallel);
+        assert_eq!(
+            sa.epoch_losses, sb.epoch_losses,
+            "losses must be bitwise equal"
+        );
+        for t in 0..a.params().num_tables() {
+            assert_eq!(
+                a.params().table(t).data(),
+                b.params().table(t).data(),
+                "table {t} must be bitwise identical across thread counts"
+            );
+        }
+    }
+
+    #[test]
     fn different_seeds_give_different_models() {
         let data = toy_biomedical();
         let mut other = quick_config();
@@ -280,6 +571,71 @@ mod tests {
         let (a, _) = train(ModelKind::DistMult, &data.train, &quick_config());
         let (b, _) = train(ModelKind::DistMult, &data.train, &other);
         assert_ne!(a.params().table(0).data(), b.params().table(0).data());
+    }
+
+    #[test]
+    fn zero_batch_size_is_rejected() {
+        let config = TrainConfig {
+            batch_size: 0,
+            ..TrainConfig::default()
+        };
+        assert_eq!(config.validate(), Err(TrainConfigError::ZeroBatchSize));
+        assert_eq!(
+            config.validate().unwrap_err().to_string(),
+            "batch_size must be at least 1"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid TrainConfig: batch_size must be at least 1")]
+    fn training_with_zero_batch_size_panics() {
+        let data = toy_biomedical();
+        let config = TrainConfig {
+            batch_size: 0,
+            epochs: 1,
+            ..TrainConfig::default()
+        };
+        let _ = train(ModelKind::TransE, &data.train, &config);
+    }
+
+    #[test]
+    fn zero_threads_is_rejected() {
+        let config = TrainConfig {
+            threads: 0,
+            ..TrainConfig::default()
+        };
+        assert_eq!(config.validate(), Err(TrainConfigError::ZeroThreads));
+    }
+
+    #[test]
+    fn batch_size_one_boundary_trains() {
+        // The smallest legal batch: one optimizer step per positive.
+        let data = toy_biomedical();
+        let config = TrainConfig {
+            batch_size: 1,
+            epochs: 2,
+            dim: 8,
+            seed: 5,
+            ..TrainConfig::default()
+        };
+        assert_eq!(config.validate(), Ok(()));
+        let (model, stats) = train(ModelKind::DistMult, &data.train, &config);
+        assert_eq!(stats.epoch_losses.len(), 2);
+        assert!(stats.final_loss().is_finite());
+        assert!(model.score(data.train.triples()[0]).is_finite());
+    }
+
+    #[test]
+    fn negative_streams_are_reproducible_and_distinct() {
+        use rand::Rng;
+        let mut a = negative_stream(3, 1, 5);
+        let mut b = negative_stream(3, 1, 5);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = negative_stream(3, 1, 6);
+        let mut d = negative_stream(3, 2, 5);
+        let reference = negative_stream(3, 1, 5).next_u64();
+        assert_ne!(reference, c.next_u64(), "shard index must matter");
+        assert_ne!(reference, d.next_u64(), "epoch must matter");
     }
 
     #[test]

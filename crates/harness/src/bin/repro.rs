@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! repro [TARGET] [SCALE] [--quiet | --progress] [--metrics-dir DIR]
+//!       [--threads N]
 //!   TARGET: all | table1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 | fig8
 //!           | fig9 | fig10 | squares | longtail | grid | sweep | experiments
 //!           (default: all; `experiments` emits EXPERIMENTS.md content)
@@ -9,6 +10,9 @@
 //!   --quiet         suppress stderr entirely
 //!   --progress      human-readable progress lines on stderr
 //!   --metrics-dir   write one structured JSONL file per grid/sweep cell
+//!   --threads       worker count for ranking and zoo training (results are
+//!                   thread-count independent; defaults to KGFD_THREADS or
+//!                   the CPU count, capped at 8)
 //! ```
 //!
 //! Text reports go to stdout; JSON series to `target/kgfd-results/`.
@@ -21,6 +25,7 @@ fn main() {
     let mut quiet = false;
     let mut progress = false;
     let mut metrics_dir: Option<std::path::PathBuf> = None;
+    let mut threads: Option<usize> = None;
     let mut raw = std::env::args().skip(1);
     while let Some(arg) = raw.next() {
         match arg.as_str() {
@@ -30,6 +35,13 @@ fn main() {
                 Some(dir) => metrics_dir = Some(dir.into()),
                 None => {
                     eprintln!("--metrics-dir needs a directory argument");
+                    std::process::exit(2);
+                }
+            },
+            "--threads" => match raw.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => threads = Some(n),
+                _ => {
+                    eprintln!("--threads needs a positive integer argument");
                     std::process::exit(2);
                 }
             },
@@ -66,11 +78,19 @@ fn main() {
     let grid = needs_grid.then(|| {
         let mut options = GridOptions::for_scale(scale);
         options.metrics_dir = metrics_dir.clone();
+        if let Some(n) = threads {
+            options.threads = n;
+            options.train_threads = n;
+        }
         run_grid(scale, &options)
     });
     let sweep = needs_sweep.then(|| {
         let mut options = SweepOptions::for_scale(scale);
         options.metrics_dir = metrics_dir.clone();
+        if let Some(n) = threads {
+            options.threads = n;
+            options.train_threads = n;
+        }
         run_sweep(scale, &options)
     });
 

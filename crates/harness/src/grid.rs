@@ -2,7 +2,7 @@
 //! strategy combination, measuring runtime, fact quality (MRR), and
 //! discovery efficiency — the shared input of Figures 2, 4, and 6.
 
-use crate::{trained_model, DatasetRef, Scale};
+use crate::{trained_model_threaded, DatasetRef, Scale};
 use fact_discovery::{discover_facts, DiscoveryConfig, StrategyKind};
 use kgfd_embed::ModelKind;
 use serde::{Deserialize, Serialize};
@@ -75,6 +75,9 @@ pub struct GridOptions {
     pub seed: u64,
     /// Ranking threads.
     pub threads: usize,
+    /// Training threads for zoo models that miss the disk cache. The cache
+    /// is thread-count independent, so this only affects wall-clock time.
+    pub train_threads: usize,
     /// Datasets to include (defaults to all four).
     pub datasets: Vec<DatasetRef>,
     /// Models to include (defaults to the paper's five).
@@ -103,6 +106,7 @@ impl GridOptions {
             threads: std::thread::available_parallelism()
                 .map(|p| p.get().min(8))
                 .unwrap_or(1),
+            train_threads: kgfd_embed::TrainConfig::default_threads(),
             datasets: DatasetRef::ALL.to_vec(),
             models: ModelKind::PAPER_GRID.to_vec(),
             strategies: StrategyKind::PAPER_GRID.to_vec(),
@@ -118,7 +122,8 @@ pub fn run_grid(scale: Scale, options: &GridOptions) -> GridResults {
     for &dataset in &options.datasets {
         let data = dataset.load(scale);
         for &model_kind in &options.models {
-            let model = trained_model(dataset, model_kind, scale, &data);
+            let model =
+                trained_model_threaded(dataset, model_kind, scale, &data, options.train_threads);
             for &strategy in &options.strategies {
                 let _cell = crate::cell_observer(
                     options.metrics_dir.as_deref(),

@@ -2,7 +2,7 @@
 //! FB15K-237 with TransE, for UNIFORM RANDOM and CLUSTERING TRIANGLES —
 //! the shared input of Figures 7, 8, 9, and 10.
 
-use crate::{trained_model, DatasetRef, Scale};
+use crate::{trained_model_threaded, DatasetRef, Scale};
 use fact_discovery::{discover_facts, DiscoveryConfig, StrategyKind};
 use kgfd_embed::ModelKind;
 use serde::{Deserialize, Serialize};
@@ -78,6 +78,8 @@ pub struct SweepOptions {
     pub seed: u64,
     /// Ranking threads.
     pub threads: usize,
+    /// Training threads for the zoo model when it misses the disk cache.
+    pub train_threads: usize,
     /// When set, each grid cell writes its structured events (spans,
     /// metrics, manifest) to `<dir>/sweep-<strategy>-mc<MC>-top<N>.jsonl`.
     pub metrics_dir: Option<std::path::PathBuf>,
@@ -101,6 +103,7 @@ impl SweepOptions {
             threads: std::thread::available_parallelism()
                 .map(|p| p.get().min(8))
                 .unwrap_or(1),
+            train_threads: kgfd_embed::TrainConfig::default_threads(),
             metrics_dir: None,
         }
     }
@@ -110,7 +113,13 @@ impl SweepOptions {
 pub fn run_sweep(scale: Scale, options: &SweepOptions) -> SweepResults {
     let dataset = DatasetRef::Fb15k237;
     let data = dataset.load(scale);
-    let model = trained_model(dataset, ModelKind::TransE, scale, &data);
+    let model = trained_model_threaded(
+        dataset,
+        ModelKind::TransE,
+        scale,
+        &data,
+        options.train_threads,
+    );
 
     let mut cells = Vec::new();
     for &strategy in &options.strategies {
@@ -172,6 +181,7 @@ mod tests {
             strategies: vec![StrategyKind::UniformRandom],
             seed: 1,
             threads: 2,
+            train_threads: 1,
             metrics_dir: None,
         };
         let results = run_sweep(Scale::Mini, &options);
@@ -188,6 +198,7 @@ mod tests {
             strategies: vec![StrategyKind::ClusteringTriangles],
             seed: 2,
             threads: 2,
+            train_threads: 1,
             metrics_dir: None,
         };
         let results = run_sweep(Scale::Mini, &options);

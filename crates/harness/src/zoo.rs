@@ -51,6 +51,7 @@ pub fn train_config(dataset: DatasetRef, model: ModelKind, scale: Scale) -> Trai
         normalize_entities,
         adversarial_temperature: None,
         seed: 0xE0_57 ^ (dataset as u64) << 8 ^ (model.name().len() as u64),
+        threads: TrainConfig::default_threads(),
     }
 }
 
@@ -66,8 +67,11 @@ pub fn cache_dir() -> PathBuf {
 }
 
 fn cache_path(dataset: DatasetRef, model: ModelKind, scale: Scale) -> PathBuf {
+    // `v2`: the sharded trainer draws negatives from per-shard RNG streams,
+    // so trained parameters differ from the v1 (sequential-stream) trainer.
+    // A new cache name keeps old entries from masquerading as current.
     cache_dir().join(format!(
-        "{}-{}-{}.kgfd",
+        "{}-{}-{}-v2.kgfd",
         dataset.name(),
         model.name(),
         scale.name()
@@ -76,12 +80,27 @@ fn cache_path(dataset: DatasetRef, model: ModelKind, scale: Scale) -> PathBuf {
 
 /// Returns a trained model for the pair, loading from the disk cache when
 /// possible and training + caching otherwise. `data` must be the dataset
-/// produced by `dataset.load(scale)`.
+/// produced by `dataset.load(scale)`. Trains with
+/// [`TrainConfig::default_threads`] workers; the cached parameters are
+/// thread-count independent.
 pub fn trained_model(
     dataset: DatasetRef,
     model: ModelKind,
     scale: Scale,
     data: &Dataset,
+) -> Box<dyn KgeModel> {
+    trained_model_threaded(dataset, model, scale, data, TrainConfig::default_threads())
+}
+
+/// [`trained_model`] with an explicit training worker count. The disk cache
+/// is shared with every other thread count — training is deterministic
+/// regardless of `threads`, so cached parameters stay valid.
+pub fn trained_model_threaded(
+    dataset: DatasetRef,
+    model: ModelKind,
+    scale: Scale,
+    data: &Dataset,
+    threads: usize,
 ) -> Box<dyn KgeModel> {
     let path = cache_path(dataset, model, scale);
     if let Ok(bytes) = std::fs::read(&path) {
@@ -94,7 +113,8 @@ pub fn trained_model(
         }
         // Stale or corrupt cache entry: fall through to retrain.
     }
-    let config = train_config(dataset, model, scale);
+    let mut config = train_config(dataset, model, scale);
+    config.threads = threads.max(1);
     let (trained, _) = train(model, &data.train, &config);
     if std::fs::create_dir_all(cache_dir()).is_ok() {
         // Cache failures are non-fatal: training is always reproducible.

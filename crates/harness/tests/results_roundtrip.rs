@@ -38,6 +38,7 @@ fn sweep_results_roundtrip_through_json() {
         strategies: vec![fact_discovery::StrategyKind::UniformRandom],
         seed: 1,
         threads: 2,
+        train_threads: 1,
         metrics_dir: None,
     };
     let sweep = run_sweep(Scale::Mini, &options);

@@ -88,6 +88,90 @@ fn persistence_preserves_evaluation_and_discovery() {
     assert_eq!(ra.facts, rb.facts);
 }
 
+/// Trains one model with the given thread count, returning every parameter
+/// table plus the per-epoch losses — the full observable state of training.
+fn train_state(kind: ModelKind, threads: usize) -> (Vec<Vec<f32>>, Vec<f64>) {
+    let data = generate(&mini(&wn18rr_like())).unwrap();
+    let (model, stats) = train(
+        kind,
+        &data.train,
+        &TrainConfig {
+            dim: 16,
+            epochs: 8,
+            batch_size: 64,
+            seed: 21,
+            threads,
+            ..TrainConfig::default()
+        },
+    );
+    let tables = (0..model.params().num_tables())
+        .map(|t| model.params().table(t).data().to_vec())
+        .collect();
+    (tables, stats.epoch_losses)
+}
+
+/// The differential contract of the parallel trainer: for a fixed seed,
+/// `threads = 1` and `threads = 4` must produce bit-identical embedding
+/// tensors and epoch losses — not approximately equal, *equal*.
+#[test]
+fn transe_training_is_thread_count_invariant() {
+    assert_eq!(
+        train_state(ModelKind::TransE, 1),
+        train_state(ModelKind::TransE, 4)
+    );
+}
+
+#[test]
+fn complex_training_is_thread_count_invariant() {
+    assert_eq!(
+        train_state(ModelKind::ComplEx, 1),
+        train_state(ModelKind::ComplEx, 4)
+    );
+}
+
+#[test]
+fn rescal_training_is_thread_count_invariant() {
+    assert_eq!(
+        train_state(ModelKind::Rescal, 1),
+        train_state(ModelKind::Rescal, 4)
+    );
+}
+
+/// Cross-run repeatability end to end: the same seed run twice — through
+/// parallel training *and* parallel discovery — yields the same
+/// `DiscoveryReport` facts.
+#[test]
+fn parallel_pipeline_is_repeatable_across_runs() {
+    let run = || {
+        let data = generate(&mini(&wn18rr_like())).unwrap();
+        let (model, _) = train(
+            ModelKind::ComplEx,
+            &data.train,
+            &TrainConfig {
+                dim: 16,
+                epochs: 8,
+                seed: 13,
+                threads: 4,
+                ..TrainConfig::default()
+            },
+        );
+        discover_facts(
+            model.as_ref(),
+            &data.train,
+            &DiscoveryConfig {
+                strategy: StrategyKind::EntityFrequency,
+                top_n: 20,
+                max_candidates: 40,
+                seed: 13,
+                threads: 4,
+                ..DiscoveryConfig::default()
+            },
+        )
+        .facts
+    };
+    assert_eq!(run(), run());
+}
+
 #[test]
 fn thread_count_does_not_change_results() {
     let data = generate(&mini(&wn18rr_like())).unwrap();

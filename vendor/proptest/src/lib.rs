@@ -50,6 +50,20 @@ impl ProptestConfig {
     pub fn with_cases(cases: u32) -> Self {
         ProptestConfig { cases }
     }
+
+    /// The case count actually run: the `PROPTEST_CASES` environment
+    /// variable when set to a positive integer (matching upstream proptest's
+    /// env override), otherwise this config's `cases`. Lets CI scale every
+    /// suite up without touching per-block configs.
+    pub fn effective_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(raw) => match raw.trim().parse::<u32>() {
+                Ok(n) if n >= 1 => n,
+                _ => self.cases,
+            },
+            Err(_) => self.cases,
+        }
+    }
 }
 
 impl Default for ProptestConfig {
@@ -347,8 +361,9 @@ macro_rules! proptest {
         $(#[$meta])*
         fn $name() {
             let config: $crate::ProptestConfig = $config;
+            let cases = config.effective_cases();
             let mut rng = $crate::__private::rng_for(::core::stringify!($name));
-            for case in 0..config.cases {
+            for case in 0..cases {
                 $(let $arg = $crate::Strategy::generate(&$strategy, &mut rng);)*
                 let outcome: ::core::result::Result<(), $crate::TestCaseError> =
                     (|| { $body ::core::result::Result::Ok(()) })();
@@ -356,7 +371,7 @@ macro_rules! proptest {
                     ::core::panic!(
                         "proptest case {}/{} of `{}` failed: {}",
                         case + 1,
-                        config.cases,
+                        cases,
                         ::core::stringify!($name),
                         e
                     );

@@ -268,6 +268,24 @@ impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
     }
 }
 
+// Matches upstream serde's representation: `{"secs": u64, "nanos": u32}`.
+impl Serialize for std::time::Duration {
+    fn serialize(&self) -> Value {
+        Value::Object(vec![
+            ("secs".to_string(), self.as_secs().serialize()),
+            ("nanos".to_string(), self.subsec_nanos().serialize()),
+        ])
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let secs: u64 = __private::field(value, "secs")?;
+        let nanos: u32 = __private::field(value, "nanos")?;
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}
+
 impl Serialize for Value {
     fn serialize(&self) -> Value {
         self.clone()
