@@ -8,7 +8,8 @@ use kgfd_datasets::{
     yago310_like,
 };
 use kgfd_embed::{
-    load_model, save_model, train, KgeModel, LossKind, ModelKind, OptimizerKind, TrainConfig,
+    read_model_file, train, write_model_file, KgeModel, LossKind, ModelKind, OptimizerKind,
+    TrainConfig,
 };
 use kgfd_eval::{
     evaluate_per_relation, evaluate_ranking, train_with_early_stopping, EarlyStopping,
@@ -71,7 +72,35 @@ OBSERVABILITY (any command):
                         closing run manifest) to FILE
   --progress            human-readable progress lines on stderr (rate-limited)
   --quiet               suppress all stderr output (warnings included)
+
+EXIT CODES:
+  0 success            1 runtime error       2 usage error
+  3 corrupt model file (bad magic, checksum mismatch, truncation)
+  4 unsupported model format version
+  5 model file needs migration (v1 TransE: retrain and re-save)
 ";
+
+/// Maps an error returned by [`run`] to the `kgfd` process exit code.
+///
+/// Persistence failures get distinct codes (see the `EXIT CODES` section of
+/// [`USAGE`]) so scripts and CI can tell "the model file is damaged" from
+/// ordinary runtime errors; the error's source chain is walked so a wrapped
+/// [`KgError`] still maps correctly.
+pub fn exit_code(err: &(dyn Error + 'static)) -> i32 {
+    let mut current: Option<&(dyn Error + 'static)> = Some(err);
+    while let Some(e) = current {
+        if let Some(kg) = e.downcast_ref::<KgError>() {
+            return match kg {
+                KgError::Corrupt(_) => 3,
+                KgError::UnsupportedVersion { .. } => 4,
+                KgError::Migration(_) => 5,
+                _ => 1,
+            };
+        }
+        current = e.source();
+    }
+    1
+}
 
 /// Installs the observer the `--metrics-out` / `--progress` / `--quiet`
 /// flags ask for; the guard restores the previous observer when dropped.
@@ -363,7 +392,9 @@ fn cmd_train(args: &Args) -> CmdResult {
         };
 
     let out = args.required("out")?;
-    std::fs::write(out, save_model(model.as_ref()))?;
+    // Atomic temp-file + rename: an interrupted `kgfd train` can never
+    // leave a partial (and thus unloadable) model file at --out.
+    write_model_file(out, model.as_ref())?;
 
     let mut manifest = kgfd_obs::RunManifest::new("train");
     manifest.model = kind.to_string();
@@ -395,8 +426,10 @@ fn cmd_train(args: &Args) -> CmdResult {
 }
 
 fn load_model_file(path: &str) -> Result<Box<dyn KgeModel>, Box<dyn Error>> {
-    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    Ok(load_model(&bytes)?)
+    // Keep the typed `KgError` intact (rather than flattening to a string)
+    // so `exit_code` can map corruption / version skew / migration failures
+    // to their distinct process exit codes.
+    Ok(read_model_file(path)?)
 }
 
 fn check_model_matches(model: &dyn KgeModel, store: &TripleStore) -> Result<(), Box<dyn Error>> {

@@ -22,4 +22,4 @@ pub mod args;
 pub mod commands;
 
 pub use args::{ArgError, Args};
-pub use commands::{run, USAGE};
+pub use commands::{exit_code, run, USAGE};

@@ -12,7 +12,9 @@ fn main() {
         Ok(report) => println!("{report}"),
         Err(e) => {
             eprintln!("error: {e}");
-            std::process::exit(1);
+            // Distinct exit codes for persistence failures (corrupt file,
+            // version skew, migration needed) — see `kgfd help`.
+            std::process::exit(kgfd_cli::exit_code(e.as_ref()));
         }
     }
 }

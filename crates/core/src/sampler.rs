@@ -16,14 +16,23 @@ pub struct AliasSampler {
 }
 
 impl AliasSampler {
-    /// Builds the alias table from normalized weights (must sum to ~1).
-    /// Panics on an empty weight vector.
+    /// Builds the alias table from non-negative weights. Weights are
+    /// normalized defensively — callers conventionally pass a distribution
+    /// summing to ~1, but an unnormalized vector would otherwise build a
+    /// silently skewed table. A degenerate vector (all-zero or non-finite
+    /// sum) falls back to the uniform distribution, mirroring
+    /// `normalize_or_uniform`. Panics on an empty weight vector.
     pub fn new(weights: &[f64]) -> Self {
         assert!(!weights.is_empty(), "cannot sample from an empty pool");
         let n = weights.len();
         let mut prob = vec![0.0; n];
         let mut alias = vec![0usize; n];
-        let mut scaled: Vec<f64> = weights.iter().map(|w| w * n as f64).collect();
+        let total: f64 = weights.iter().sum();
+        let mut scaled: Vec<f64> = if total > 0.0 && total.is_finite() {
+            weights.iter().map(|w| w / total * n as f64).collect()
+        } else {
+            vec![1.0; n]
+        };
 
         let mut small: Vec<usize> = Vec::new();
         let mut large: Vec<usize> = Vec::new();
@@ -79,35 +88,56 @@ impl AliasSampler {
 #[derive(Debug, Clone)]
 pub struct CdfSampler {
     cdf: Vec<f64>,
+    /// Index drawn when `u` lands beyond the final CDF value
+    /// (floating-point summation slack): the last index with positive
+    /// weight, so rounding can never surface a zero-weight item.
+    overflow: usize,
 }
 
 impl CdfSampler {
-    /// Builds the cumulative distribution. Panics on an empty weight vector.
+    /// Builds the cumulative distribution from non-negative weights. A
+    /// degenerate vector (all-zero or non-finite sum) falls back to the
+    /// uniform distribution, mirroring `normalize_or_uniform` — previously
+    /// the zero-total CDF was left unnormalized at all-zeros, which made
+    /// `sample()` always return the last index. Panics on an empty weight
+    /// vector.
     pub fn new(weights: &[f64]) -> Self {
         assert!(!weights.is_empty(), "cannot sample from an empty pool");
-        let mut cdf = Vec::with_capacity(weights.len());
-        let mut acc = 0.0;
-        for &w in weights {
-            acc += w;
-            cdf.push(acc);
-        }
-        // Guard against normalization slack.
-        let total = acc;
-        if total > 0.0 {
-            for v in &mut cdf {
-                *v /= total;
+        let n = weights.len();
+        let total: f64 = weights.iter().sum();
+        let mut cdf = Vec::with_capacity(n);
+        if total > 0.0 && total.is_finite() {
+            let mut acc = 0.0;
+            for &w in weights {
+                acc += w;
+                cdf.push(acc / total);
+            }
+            let overflow = weights
+                .iter()
+                .rposition(|&w| w > 0.0)
+                .expect("positive total implies a positive weight");
+            CdfSampler { cdf, overflow }
+        } else {
+            for i in 0..n {
+                cdf.push((i + 1) as f64 / n as f64);
+            }
+            CdfSampler {
+                cdf,
+                overflow: n - 1,
             }
         }
-        CdfSampler { cdf }
     }
 
     /// Draws one index in O(log n).
     #[inline]
     pub fn sample(&self, rng: &mut StdRng) -> usize {
         let u: f64 = rng.random();
-        self.cdf
-            .partition_point(|&c| c <= u)
-            .min(self.cdf.len() - 1)
+        let i = self.cdf.partition_point(|&c| c <= u);
+        if i < self.cdf.len() {
+            i
+        } else {
+            self.overflow
+        }
     }
 }
 
@@ -169,5 +199,52 @@ mod tests {
     #[should_panic(expected = "empty pool")]
     fn empty_weights_panic() {
         AliasSampler::new(&[]);
+    }
+
+    #[test]
+    fn cdf_zero_total_falls_back_to_uniform() {
+        // Regression: the zero-total CDF used to stay all-zeros, so every
+        // draw returned the last index.
+        let sampler = CdfSampler::new(&[0.0, 0.0, 0.0]);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            let f = c as f64 / 30_000.0;
+            assert!((f - 1.0 / 3.0).abs() < 0.02, "freq {f} not ~uniform");
+        }
+    }
+
+    #[test]
+    fn alias_zero_total_falls_back_to_uniform() {
+        let sampler = AliasSampler::new(&[0.0, 0.0]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = [0usize; 2];
+        for _ in 0..20_000 {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        let f = counts[0] as f64 / 20_000.0;
+        assert!((f - 0.5).abs() < 0.02, "freq {f} not ~uniform");
+    }
+
+    #[test]
+    fn alias_normalizes_unnormalized_weights() {
+        // Regression: weights summing to 8 used to be scaled by n instead
+        // of normalized, silently skewing the table.
+        let freq = empirical(&[2.0, 6.0], 50_000, 6);
+        assert!((freq[0] - 0.25).abs() < 0.01, "freq {} vs 0.25", freq[0]);
+        assert!((freq[1] - 0.75).abs() < 0.01, "freq {} vs 0.75", freq[1]);
+    }
+
+    #[test]
+    fn cdf_zero_weight_items_are_never_drawn() {
+        let sampler = CdfSampler::new(&[0.0, 1.0, 0.0, 2.0]);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..20_000 {
+            let i = sampler.sample(&mut rng);
+            assert!(i == 1 || i == 3, "drew zero-weight index {i}");
+        }
     }
 }

@@ -1,8 +1,8 @@
 //! Property-based tests of the fact-discovery invariants.
 
 use fact_discovery::{
-    compute_weights, discover_facts, normalize_or_uniform, AliasSampler, DiscoveryConfig, Measures,
-    StrategyKind,
+    compute_weights, discover_facts, normalize_or_uniform, AliasSampler, CdfSampler,
+    DiscoveryConfig, Measures, StrategyKind,
 };
 use kgfd_embed::{new_model, ModelKind};
 use kgfd_kg::{Side, Triple, TripleStore};
@@ -62,6 +62,70 @@ proptest! {
             prop_assert!(i < w.len());
             // Never sample a zero-weight item.
             prop_assert!(w[i] > 0.0 || w.iter().all(|&x| x == 0.0));
+        }
+    }
+
+    #[test]
+    fn alias_and_cdf_samplers_agree_on_arbitrary_weights(
+        weights in proptest::collection::vec(0.0f64..10.0, 1..20),
+        seed in 0u64..1000
+    ) {
+        // Both samplers target the same normalized distribution, so their
+        // empirical frequencies over many draws must match each other (and
+        // the target) within statistical tolerance.
+        const DRAWS: usize = 20_000;
+        let n = weights.len();
+        let alias = AliasSampler::new(&weights);
+        let cdf = CdfSampler::new(&weights);
+        let mut rng_a = rand::SeedableRng::seed_from_u64(seed);
+        let mut rng_c = rand::SeedableRng::seed_from_u64(seed.wrapping_add(1));
+        let mut freq_a = vec![0.0f64; n];
+        let mut freq_c = vec![0.0f64; n];
+        for _ in 0..DRAWS {
+            freq_a[alias.sample(&mut rng_a)] += 1.0 / DRAWS as f64;
+            freq_c[cdf.sample(&mut rng_c)] += 1.0 / DRAWS as f64;
+        }
+        let target = normalize_or_uniform(weights);
+        for i in 0..n {
+            prop_assert!(
+                (freq_a[i] - freq_c[i]).abs() < 0.03,
+                "samplers disagree at {i}: alias {} vs cdf {}", freq_a[i], freq_c[i]
+            );
+            prop_assert!(
+                (freq_a[i] - target[i]).abs() < 0.03,
+                "alias off-target at {i}: {} vs {}", freq_a[i], target[i]
+            );
+            prop_assert!(
+                (freq_c[i] - target[i]).abs() < 0.03,
+                "cdf off-target at {i}: {} vs {}", freq_c[i], target[i]
+            );
+        }
+    }
+
+    #[test]
+    fn zero_weight_items_are_never_drawn_by_either_sampler(
+        raw in proptest::collection::vec((0.1f64..10.0, 0u8..2), 1..20),
+        seed in 0u64..1000
+    ) {
+        // Mask a random subset of weights to exactly zero; as long as one
+        // weight stays positive (we force index 0 if the mask covered
+        // everything — all-zero triggers the uniform fallback instead), a
+        // masked index must never surface from either sampler.
+        let mut weights: Vec<f64> = raw
+            .iter()
+            .map(|&(w, masked)| if masked == 1 { 0.0 } else { w })
+            .collect();
+        if weights.iter().all(|&w| w == 0.0) {
+            weights[0] = raw[0].0;
+        }
+        let alias = AliasSampler::new(&weights);
+        let cdf = CdfSampler::new(&weights);
+        let mut rng = rand::SeedableRng::seed_from_u64(seed);
+        for _ in 0..2_000 {
+            let a = alias.sample(&mut rng);
+            prop_assert!(weights[a] > 0.0, "alias drew zero-weight index {a}");
+            let c = cdf.sample(&mut rng);
+            prop_assert!(weights[c] > 0.0, "cdf drew zero-weight index {c}");
         }
     }
 

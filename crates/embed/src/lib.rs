@@ -36,12 +36,14 @@ mod trainer;
 pub mod init;
 
 pub use loss::{LossKind, PairLoss};
-pub use model::{KgeModel, ModelKind};
+pub use model::{KgeModel, ModelConfig, ModelKind};
 pub use models::new_model;
 pub use negative::{CorruptSide, NegativeSampler};
 pub use optim::{Optimizer, OptimizerKind};
 pub use params::{Gradients, ParamTable, Parameters, ENTITY_TABLE, RELATION_TABLE};
-pub use persist::{load_model, save_model, save_transe};
+pub use persist::{
+    crc32, load_model, read_model_file, save_model, write_model_file, FORMAT_VERSION,
+};
 pub use trainer::{
     negative_stream, train, train_into, TrainConfig, TrainConfigError, TrainStats, SHARD_SIZE,
 };

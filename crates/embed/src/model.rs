@@ -105,6 +105,49 @@ impl std::fmt::Display for ModelKind {
     }
 }
 
+/// The complete constructor configuration of a model: everything needed to
+/// rebuild an architecturally identical (untrained) instance of the same
+/// scoring function. This is the config block the v2 persistence format
+/// embeds verbatim, so a reloaded model can never differ in configuration
+/// from the one that was saved.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Scoring function.
+    pub kind: ModelKind,
+    /// Entity count `N`.
+    pub num_entities: usize,
+    /// Logical relation count `K` (excluding reciprocal shadow relations).
+    pub num_relations: usize,
+    /// Entity-embedding width `l`.
+    pub dim: usize,
+    /// TransE's distance measure; `None` for every other kind.
+    pub distance: Option<crate::models::Distance>,
+}
+
+impl ModelConfig {
+    /// Constructs a freshly initialized model matching this configuration.
+    pub fn build(&self, seed: u64) -> Box<dyn KgeModel> {
+        match (self.kind, self.distance) {
+            (ModelKind::TransE, Some(d)) => Box::new(crate::models::TransE::new(
+                self.num_entities,
+                self.num_relations,
+                self.dim,
+                d,
+                seed,
+            )),
+            // `new_model` defaults TransE to L1; every other kind carries no
+            // extra configuration.
+            _ => crate::new_model(
+                self.kind,
+                self.num_entities,
+                self.num_relations,
+                self.dim,
+                seed,
+            ),
+        }
+    }
+}
+
 /// A trained (or trainable) knowledge-graph embedding model.
 ///
 /// Scores are "higher = more plausible". The two batched kernels
@@ -125,6 +168,12 @@ pub trait KgeModel: Send + Sync {
 
     /// Embedding width `l` of entity vectors.
     fn dim(&self) -> usize;
+
+    /// The full constructor configuration. Persisted verbatim by the v2
+    /// model format; [`ModelConfig::build`] reconstructs the architecture.
+    /// Required (not defaulted) so a model with extra configuration — like
+    /// TransE's distance — cannot silently persist an incomplete config.
+    fn config(&self) -> ModelConfig;
 
     /// The underlying parameter tables.
     fn params(&self) -> &Parameters;

@@ -17,7 +17,8 @@
 
 use crate::math::dot;
 use crate::{
-    init, Gradients, KgeModel, ModelKind, ParamTable, Parameters, ENTITY_TABLE, RELATION_TABLE,
+    init, Gradients, KgeModel, ModelConfig, ModelKind, ParamTable, Parameters, ENTITY_TABLE,
+    RELATION_TABLE,
 };
 use kgfd_kg::{EntityId, RelationId, Triple};
 use rand::rngs::StdRng;
@@ -110,6 +111,16 @@ impl KgeModel for ComplEx {
 
     fn dim(&self) -> usize {
         self.dim
+    }
+
+    fn config(&self) -> ModelConfig {
+        ModelConfig {
+            kind: self.kind(),
+            num_entities: self.num_entities(),
+            num_relations: self.num_relations(),
+            dim: self.dim(),
+            distance: None,
+        }
     }
 
     fn params(&self) -> &Parameters {

@@ -13,7 +13,8 @@
 
 use crate::math::dot;
 use crate::{
-    init, Gradients, KgeModel, ModelKind, ParamTable, Parameters, ENTITY_TABLE, RELATION_TABLE,
+    init, Gradients, KgeModel, ModelConfig, ModelKind, ParamTable, Parameters, ENTITY_TABLE,
+    RELATION_TABLE,
 };
 use kgfd_kg::{EntityId, RelationId, Triple};
 use rand::rngs::StdRng;
@@ -99,6 +100,16 @@ impl KgeModel for HolE {
 
     fn dim(&self) -> usize {
         self.dim
+    }
+
+    fn config(&self) -> ModelConfig {
+        ModelConfig {
+            kind: self.kind(),
+            num_entities: self.num_entities(),
+            num_relations: self.num_relations(),
+            dim: self.dim(),
+            distance: None,
+        }
     }
 
     fn params(&self) -> &Parameters {

@@ -14,7 +14,8 @@
 
 use crate::math::dot;
 use crate::{
-    init, Gradients, KgeModel, ModelKind, ParamTable, Parameters, ENTITY_TABLE, RELATION_TABLE,
+    init, Gradients, KgeModel, ModelConfig, ModelKind, ParamTable, Parameters, ENTITY_TABLE,
+    RELATION_TABLE,
 };
 use kgfd_kg::{EntityId, RelationId, Triple};
 use rand::rngs::StdRng;
@@ -75,6 +76,16 @@ impl KgeModel for SimplE {
 
     fn dim(&self) -> usize {
         2 * self.half
+    }
+
+    fn config(&self) -> ModelConfig {
+        ModelConfig {
+            kind: self.kind(),
+            num_entities: self.num_entities(),
+            num_relations: self.num_relations(),
+            dim: self.dim(),
+            distance: None,
+        }
     }
 
     fn params(&self) -> &Parameters {

@@ -10,7 +10,8 @@
 
 use crate::math::{add_scaled, l1_distance, l2_distance};
 use crate::{
-    init, Gradients, KgeModel, ModelKind, ParamTable, Parameters, ENTITY_TABLE, RELATION_TABLE,
+    init, Gradients, KgeModel, ModelConfig, ModelKind, ParamTable, Parameters, ENTITY_TABLE,
+    RELATION_TABLE,
 };
 use kgfd_kg::{EntityId, RelationId, Triple};
 use rand::rngs::StdRng;
@@ -97,6 +98,16 @@ impl KgeModel for TransE {
 
     fn dim(&self) -> usize {
         self.dim
+    }
+
+    fn config(&self) -> ModelConfig {
+        ModelConfig {
+            kind: self.kind(),
+            num_entities: self.num_entities(),
+            num_relations: self.num_relations(),
+            dim: self.dim(),
+            distance: Some(self.distance),
+        }
     }
 
     fn params(&self) -> &Parameters {

@@ -108,6 +108,35 @@ proptest! {
         prop_assert!((a - b).abs() < 1e-7);
     }
 
+    /// Persistence must be lossless to the bit, for every model kind and —
+    /// the regression behind the v2 format — both TransE distances saved
+    /// through the *generic* `save_model` path. (The retired v1
+    /// `save_transe` shim hand-patched the distance flag; L2 models saved
+    /// generically came back as L1.)
+    #[test]
+    fn roundtrip_scores_are_bit_identical_for_every_config(
+        kind in arb_kind(),
+        l2 in 0u8..2,
+        seed in 0u64..200,
+        t in arb_triple(),
+    ) {
+        use kgfd_embed::models::{Distance, TransE};
+        let model: Box<dyn kgfd_embed::KgeModel> = if kind == ModelKind::TransE {
+            let d = if l2 == 1 { Distance::L2 } else { Distance::L1 };
+            Box::new(TransE::new(N, K, DIM, d, seed))
+        } else {
+            new_model(kind, N, K, DIM, seed)
+        };
+        let loaded = load_model(&save_model(model.as_ref())).unwrap();
+        prop_assert_eq!(loaded.config(), model.config(), "config must survive");
+        prop_assert_eq!(loaded.params(), model.params(), "parameters must survive");
+        prop_assert_eq!(
+            loaded.score(t).to_bits(),
+            model.score(t).to_bits(),
+            "score of {:?} drifted across save/load", t
+        );
+    }
+
     #[test]
     fn same_seed_same_model(kind in arb_kind(), seed in 0u64..200) {
         let a = new_model(kind, N, K, DIM, seed);

@@ -30,4 +30,6 @@ pub use output::{cell_observer, results_dir, write_json, TextTable};
 pub use sweep::{
     run_sweep, SweepCell, SweepOptions, SweepResults, MAX_CANDIDATES_VALUES, TOP_N_VALUES,
 };
-pub use zoo::{cache_dir, train_config, trained_model, trained_model_threaded};
+pub use zoo::{
+    cache_dir, train_config, trained_model, trained_model_threaded, try_trained_model_threaded,
+};

@@ -9,10 +9,11 @@
 
 use crate::{DatasetRef, Scale};
 use kgfd_embed::{
-    load_model, save_model, train, KgeModel, LossKind, ModelKind, OptimizerKind, TrainConfig,
+    read_model_file, train, write_model_file, KgeModel, LossKind, ModelKind, OptimizerKind,
+    TrainConfig,
 };
-use kgfd_kg::Dataset;
-use std::path::PathBuf;
+use kgfd_kg::{Dataset, KgError};
+use std::path::{Path, PathBuf};
 
 /// Training hyperparameters for one dataset × model pair.
 ///
@@ -67,15 +68,81 @@ pub fn cache_dir() -> PathBuf {
 }
 
 fn cache_path(dataset: DatasetRef, model: ModelKind, scale: Scale) -> PathBuf {
-    // `v2`: the sharded trainer draws negatives from per-shard RNG streams,
-    // so trained parameters differ from the v1 (sequential-stream) trainer.
-    // A new cache name keeps old entries from masquerading as current.
+    // `v3`: cache entries now use the checksummed v2 model format written
+    // atomically; the name bump keeps v1-format entries (whose TransE
+    // distance flag was untrustworthy) from masquerading as current.
+    // (`v2` was the sharded-trainer bump.)
     cache_dir().join(format!(
-        "{}-{}-{}-v2.kgfd",
+        "{}-{}-{}-v3.kgfd",
         dataset.name(),
         model.name(),
         scale.name()
     ))
+}
+
+/// Outcome of probing one on-disk cache entry.
+enum CacheProbe {
+    /// Entry loaded and matches the dataset shape.
+    Hit(Box<dyn KgeModel>),
+    /// No cache entry exists.
+    Miss,
+    /// Entry was corrupt, version-skewed, unmigratable, or shape-mismatched;
+    /// it has been evicted (deleted) and the caller must retrain.
+    Evicted,
+}
+
+/// Deletes a bad cache entry and makes the recovery observable: a
+/// `zoo.cache.corrupt` metric event (with path + reason fields), a warning
+/// message, and an entry in the process recovery log that surfaces in the
+/// next emitted JSONL run manifest.
+fn evict(path: &Path, reason: &str) -> CacheProbe {
+    kgfd_obs::metric(
+        "zoo.cache.corrupt",
+        1.0,
+        vec![
+            kgfd_obs::Field::new("path", path.display().to_string()),
+            kgfd_obs::Field::new("reason", reason),
+        ],
+    );
+    kgfd_obs::warn(format!(
+        "zoo: evicting bad cache entry {} ({reason}); retraining",
+        path.display()
+    ));
+    kgfd_obs::record_recovery(format!(
+        "zoo.cache.corrupt: {}: {reason} (evicted, retrained)",
+        path.display()
+    ));
+    let _ = std::fs::remove_file(path);
+    CacheProbe::Evicted
+}
+
+/// Loads and integrity-checks one cache entry. Every failure mode —
+/// checksum mismatch, truncation, version skew, unmigratable v1 content,
+/// or a shape that doesn't match `data` — evicts the entry instead of
+/// panicking or returning a silently-wrong model.
+fn probe_cache(path: &Path, data: &Dataset) -> CacheProbe {
+    match read_model_file(path) {
+        Ok(loaded) => {
+            if loaded.num_entities() == data.train.num_entities()
+                && loaded.num_relations() == data.train.num_relations()
+            {
+                CacheProbe::Hit(loaded)
+            } else {
+                evict(
+                    path,
+                    &format!(
+                        "shape mismatch: cached {}×{}, dataset {}×{}",
+                        loaded.num_entities(),
+                        loaded.num_relations(),
+                        data.train.num_entities(),
+                        data.train.num_relations()
+                    ),
+                )
+            }
+        }
+        Err(KgError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => CacheProbe::Miss,
+        Err(e) => evict(path, &e.to_string()),
+    }
 }
 
 /// Returns a trained model for the pair, loading from the disk cache when
@@ -95,6 +162,10 @@ pub fn trained_model(
 /// [`trained_model`] with an explicit training worker count. The disk cache
 /// is shared with every other thread count — training is deterministic
 /// regardless of `threads`, so cached parameters stay valid.
+///
+/// A cache-write failure is downgraded to a warning here (training already
+/// succeeded and is reproducible); use [`try_trained_model_threaded`] when
+/// the caller needs the cache to be durable.
 pub fn trained_model_threaded(
     dataset: DatasetRef,
     model: ModelKind,
@@ -102,25 +173,58 @@ pub fn trained_model_threaded(
     data: &Dataset,
     threads: usize,
 ) -> Box<dyn KgeModel> {
+    let (trained, cache_err) = obtain(dataset, model, scale, data, threads);
+    if let Some(e) = cache_err {
+        kgfd_obs::warn(format!(
+            "zoo: could not cache {}-{}-{}: {e}",
+            dataset.name(),
+            model.name(),
+            scale.name()
+        ));
+    }
+    trained
+}
+
+/// [`trained_model_threaded`] with the cache write error-checked: returns
+/// `Err` when the trained parameters could not be persisted (the model is
+/// lost to future runs), instead of silently degrading to retrain-per-run.
+pub fn try_trained_model_threaded(
+    dataset: DatasetRef,
+    model: ModelKind,
+    scale: Scale,
+    data: &Dataset,
+    threads: usize,
+) -> Result<Box<dyn KgeModel>, KgError> {
+    let (trained, cache_err) = obtain(dataset, model, scale, data, threads);
+    match cache_err {
+        Some(e) => Err(e),
+        None => Ok(trained),
+    }
+}
+
+/// Cache probe → recovery → train → atomic cache write. Returns the model
+/// plus the cache-write error, if any — callers choose whether persistence
+/// failures are fatal.
+fn obtain(
+    dataset: DatasetRef,
+    model: ModelKind,
+    scale: Scale,
+    data: &Dataset,
+    threads: usize,
+) -> (Box<dyn KgeModel>, Option<KgError>) {
     let path = cache_path(dataset, model, scale);
-    if let Ok(bytes) = std::fs::read(&path) {
-        if let Ok(loaded) = load_model(&bytes) {
-            if loaded.num_entities() == data.train.num_entities()
-                && loaded.num_relations() == data.train.num_relations()
-            {
-                return loaded;
-            }
-        }
-        // Stale or corrupt cache entry: fall through to retrain.
+    match probe_cache(&path, data) {
+        CacheProbe::Hit(loaded) => return (loaded, None),
+        CacheProbe::Miss | CacheProbe::Evicted => {}
     }
     let mut config = train_config(dataset, model, scale);
     config.threads = threads.max(1);
     let (trained, _) = train(model, &data.train, &config);
-    if std::fs::create_dir_all(cache_dir()).is_ok() {
-        // Cache failures are non-fatal: training is always reproducible.
-        let _ = std::fs::write(&path, save_model(trained.as_ref()));
-    }
-    trained
+    // Atomic temp-file + rename write: concurrent trainers of the same pair
+    // each produce identical parameters, so whichever rename lands last
+    // leaves a valid, complete entry.
+    let cache_err = write_model_file(&path, trained.as_ref()).err();
+    (trained, cache_err)
 }
 
 #[cfg(test)]
@@ -145,6 +249,51 @@ mod tests {
         assert!(c.normalize_entities);
         let c2 = train_config(DatasetRef::Fb15k237, ModelKind::DistMult, Scale::Standard);
         assert!(matches!(c2.loss, LossKind::BinaryCrossEntropy));
+    }
+
+    #[test]
+    fn corrupt_cache_entry_is_evicted_retrained_and_rewritten() {
+        let dataset = DatasetRef::Yago310;
+        let data = dataset.load(Scale::Mini);
+        let path = cache_path(dataset, ModelKind::ComplEx, Scale::Mini);
+        let _ = std::fs::remove_file(&path);
+        let a = trained_model(dataset, ModelKind::ComplEx, Scale::Mini, &data);
+        // Flip a payload byte: the checksum must catch it on the next probe.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let b = trained_model(dataset, ModelKind::ComplEx, Scale::Mini, &data);
+        let t = data.train.triples()[0];
+        // Deterministic training: the retrained model matches the original.
+        assert_eq!(a.score(t).to_bits(), b.score(t).to_bits());
+        // The bad entry was replaced with a valid, loadable one.
+        let reloaded = read_model_file(&path).expect("cache repaired");
+        assert_eq!(reloaded.score(t).to_bits(), a.score(t).to_bits());
+        // The recovery is visible to the next emitted run manifest.
+        let recoveries = kgfd_obs::drain_recoveries();
+        assert!(
+            recoveries
+                .iter()
+                .any(|r| r.contains("zoo.cache.corrupt") && r.contains("complex")),
+            "recovery log missing eviction: {recoveries:?}"
+        );
+    }
+
+    #[test]
+    fn shape_mismatched_cache_entry_is_evicted() {
+        let dataset = DatasetRef::CodexL;
+        let data = dataset.load(Scale::Mini);
+        let path = cache_path(dataset, ModelKind::DistMult, Scale::Mini);
+        // Plant a valid model file of the wrong shape.
+        let wrong = kgfd_embed::new_model(ModelKind::DistMult, 3, 1, 8, 0);
+        kgfd_embed::write_model_file(&path, wrong.as_ref()).unwrap();
+        let m = trained_model(dataset, ModelKind::DistMult, Scale::Mini, &data);
+        assert_eq!(m.num_entities(), data.train.num_entities());
+        let reloaded = read_model_file(&path).expect("cache repaired");
+        assert_eq!(reloaded.num_entities(), data.train.num_entities());
+        let _ = kgfd_obs::drain_recoveries();
     }
 
     #[test]

@@ -18,6 +18,21 @@ pub enum KgError {
     Io(std::io::Error),
     /// A structural invariant was violated (duplicate split member, empty graph, …).
     Invariant(String),
+    /// A persisted artifact failed an integrity check: bad magic, checksum
+    /// mismatch, truncation, trailing bytes, or a shape that contradicts its
+    /// own header. The artifact must not be trusted.
+    Corrupt(String),
+    /// A persisted artifact declares a format version this build cannot read.
+    UnsupportedVersion {
+        /// Version byte found in the artifact.
+        found: u8,
+        /// Highest version this build understands.
+        max_supported: u8,
+    },
+    /// A persisted artifact is structurally readable but cannot be migrated
+    /// to the current format safely (e.g. a v1 TransE file whose distance
+    /// flag is untrustworthy); the artifact must be regenerated.
+    Migration(String),
 }
 
 impl std::fmt::Display for KgError {
@@ -30,6 +45,15 @@ impl std::fmt::Display for KgError {
             }
             KgError::Io(e) => write!(f, "i/o error: {e}"),
             KgError::Invariant(msg) => write!(f, "invariant violation: {msg}"),
+            KgError::Corrupt(msg) => write!(f, "corrupt artifact: {msg}"),
+            KgError::UnsupportedVersion {
+                found,
+                max_supported,
+            } => write!(
+                f,
+                "unsupported format version {found} (this build reads up to v{max_supported})"
+            ),
+            KgError::Migration(msg) => write!(f, "migration required: {msg}"),
         }
     }
 }
@@ -68,6 +92,22 @@ mod tests {
         assert!(KgError::Invariant("empty".into())
             .to_string()
             .contains("empty"));
+    }
+
+    #[test]
+    fn persistence_variants_render_their_context() {
+        assert!(KgError::Corrupt("checksum mismatch".into())
+            .to_string()
+            .contains("checksum mismatch"));
+        let v = KgError::UnsupportedVersion {
+            found: 9,
+            max_supported: 2,
+        }
+        .to_string();
+        assert!(v.contains('9') && v.contains("v2"), "{v}");
+        assert!(KgError::Migration("retrain".into())
+            .to_string()
+            .contains("retrain"));
     }
 
     #[test]

@@ -42,7 +42,8 @@ pub use metrics::{
     MetricsSnapshot, Registry,
 };
 pub use observer::{
-    clock_us, emit, error, info, metric, observer, progress, run_id, scoped, set_observer, warn,
-    Fanout, JsonlSink, NullObserver, Observer, ScopedObserver, StderrProgress,
+    clock_us, drain_recoveries, emit, error, info, metric, observer, progress, record_recovery,
+    run_id, scoped, set_observer, warn, Fanout, JsonlSink, NullObserver, Observer, ScopedObserver,
+    StderrProgress,
 };
 pub use span::Span;

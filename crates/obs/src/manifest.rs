@@ -33,6 +33,10 @@ pub struct RunManifest {
     pub config: Vec<Field>,
     /// Total wall-clock time of the run, in seconds.
     pub wall_clock_s: f64,
+    /// Recovery actions observed during the run (e.g. a corrupt zoo cache
+    /// entry evicted and retrained). Populated at [`RunManifest::emit`]
+    /// time from the process-wide recovery log ([`crate::record_recovery`]).
+    pub recoveries: Vec<String>,
 }
 
 impl RunManifest {
@@ -55,8 +59,13 @@ impl RunManifest {
         self
     }
 
-    /// Emits this manifest as the run's closing event.
+    /// Emits this manifest as the run's closing event, attaching any
+    /// recovery actions recorded since the last emitted manifest.
     pub fn emit(&self) {
-        crate::observer::emit(Payload::Manifest(self.clone()));
+        let mut manifest = self.clone();
+        manifest
+            .recoveries
+            .extend(crate::observer::drain_recoveries());
+        crate::observer::emit(Payload::Manifest(manifest));
     }
 }

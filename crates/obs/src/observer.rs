@@ -259,6 +259,25 @@ pub fn run_id() -> &'static str {
     })
 }
 
+/// Process-wide log of recovery actions (e.g. a corrupt model-zoo cache
+/// entry evicted and retrained). Libraries append with [`record_recovery`];
+/// [`crate::RunManifest::emit`] drains the log into the manifest, so a
+/// recovery that happened deep inside a library call is still visible in
+/// the run's closing JSONL record.
+static RECOVERIES: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+/// Appends one recovery action to the process-wide recovery log.
+pub fn record_recovery(text: impl Into<String>) {
+    RECOVERIES.lock().push(text.into());
+}
+
+/// Takes (and clears) the recovery log. Called by
+/// [`crate::RunManifest::emit`]; each recovery appears in exactly one
+/// manifest.
+pub fn drain_recoveries() -> Vec<String> {
+    std::mem::take(&mut *RECOVERIES.lock())
+}
+
 /// Wraps `payload` in an [`Event`] (run id + timestamp) and delivers it to
 /// the current observer.
 pub fn emit(payload: Payload) {

@@ -137,6 +137,9 @@ fn run_manifest_event_schema_is_stable() {
         },
         config: Vec::new(),
         wall_clock_s: 12.5,
+        recoveries: vec![
+            "zoo.cache.corrupt: golden.kgfd: checksum mismatch (evicted, retrained)".to_string(),
+        ],
     }
     .with_config("top_n", 500usize)
     .with_config("max_candidates", 500usize)
