@@ -1,0 +1,131 @@
+//! Bench for the **batched, query-deduplicated ranking engine**: batched
+//! (`rank_all`, i.e. `BatchRanker`) vs scalar (`rank_all_scalar`) on two
+//! workload shapes —
+//!
+//! * **dup-heavy** (discovery-shaped): candidates from a mesh grid, so a
+//!   handful of distinct `(s, r)` / `(r, o)` side queries cover hundreds of
+//!   triples. This is where deduplication pays.
+//! * **unique** (eval-shaped): every triple carries fresh side queries; the
+//!   engine must not regress here.
+//!
+//! Besides the Criterion groups, the run writes `BENCH_ranking.json` at the
+//! repo root with measured throughputs and speedups (skipped under
+//! `cargo test`, which runs bench bodies once in test mode).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kgfd_eval::{rank_all, rank_all_scalar, BatchRanker};
+use kgfd_kg::Triple;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Mesh-grid candidates: `side × side` triples over one relation, sharing
+/// only `2 × side` distinct side queries (dedup ratio `side`).
+fn dup_heavy_workload(num_entities: usize, side: u32) -> Vec<Triple> {
+    let n = num_entities as u32;
+    (0..side)
+        .flat_map(|i| (0..side).map(move |j| Triple::new(i % n, 0, (side + j) % n)))
+        .collect()
+}
+
+/// Eval-shaped candidates: subject/object pairs chosen so no `(s, r)` or
+/// `(r, o)` query repeats.
+fn unique_workload(num_entities: usize, count: usize) -> Vec<Triple> {
+    let n = num_entities as u32;
+    (0..count as u32)
+        .map(|i| Triple::new(i % n, i / n, (i.wrapping_mul(31).wrapping_add(7)) % n))
+        .collect()
+}
+
+/// Best-of-3 wall time of `f`, after one warmup call.
+fn best_of_3<R>(mut f: impl FnMut() -> R) -> f64 {
+    black_box(f());
+    (0..3)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(f());
+            start.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn bench(c: &mut Criterion) {
+    kgfd_bench::banner("ranking — batched vs scalar ranking engine");
+    let (data, model) = kgfd_bench::fb_mini_transe();
+    let known = data.known_triples();
+    let n = data.train.num_entities();
+
+    let dup_heavy = dup_heavy_workload(n, 24); // 576 triples, 48 distinct queries
+    let unique = unique_workload(n, 256);
+
+    let mut results = Vec::new();
+    for (name, triples) in [("dup_heavy", &dup_heavy), ("unique", &unique)] {
+        let scalar_s = best_of_3(|| rank_all_scalar(model.as_ref(), triples, Some(&known), 1));
+        let batched_s = best_of_3(|| rank_all(model.as_ref(), triples, Some(&known), 1));
+        let (_, stats) =
+            BatchRanker::new(model.as_ref(), 1).rank_all_with_stats(triples, Some(&known));
+        let speedup = scalar_s / batched_s;
+        println!(
+            "  {:<10} {:>5} triples  dedup {:>5.1}x  scalar {:>8.1}/s  batched {:>8.1}/s  speedup {:>5.2}x",
+            name,
+            triples.len(),
+            stats.dedup_ratio(),
+            triples.len() as f64 / scalar_s,
+            triples.len() as f64 / batched_s,
+            speedup
+        );
+        results.push(format!(
+            concat!(
+                "    {{\"workload\": \"{}\", \"triples\": {}, \"dedup_ratio\": {:.3}, ",
+                "\"scalar_triples_per_sec\": {:.1}, \"batched_triples_per_sec\": {:.1}, ",
+                "\"speedup\": {:.3}}}"
+            ),
+            name,
+            triples.len(),
+            stats.dedup_ratio(),
+            triples.len() as f64 / scalar_s,
+            triples.len() as f64 / batched_s,
+            speedup
+        ));
+    }
+
+    // `cargo test` runs bench bodies once with `--test`; only a real
+    // `cargo bench` run should (re)write the checked-in measurement file.
+    if !std::env::args().any(|a| a == "--test") {
+        let json = format!(
+            "{{\n  \"bench\": \"ranking\",\n  \"model\": \"transe\",\n  \"entities\": {},\n  \"threads\": 1,\n  \"workloads\": [\n{}\n  ]\n}}\n",
+            n,
+            results.join(",\n")
+        );
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ranking.json");
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("  (could not write BENCH_ranking.json: {e})");
+        } else {
+            println!("  wrote {path}");
+        }
+    }
+
+    let mut group = c.benchmark_group("ranking_engine");
+    group.sample_size(10);
+    for (name, triples) in [("dup_heavy", &dup_heavy), ("unique", &unique)] {
+        group.bench_function(format!("scalar_{name}"), |b| {
+            b.iter(|| black_box(rank_all_scalar(model.as_ref(), triples, Some(&known), 1)))
+        });
+        group.bench_function(format!("batched_{name}"), |b| {
+            b.iter(|| black_box(rank_all(model.as_ref(), triples, Some(&known), 1)))
+        });
+    }
+    group.finish();
+
+    // Cheap sanity pass (also exercised in test mode): the two engines must
+    // agree on both workloads.
+    for triples in [&dup_heavy, &unique] {
+        assert_eq!(
+            rank_all(model.as_ref(), triples, Some(&known), 1),
+            rank_all_scalar(model.as_ref(), triples, Some(&known), 1),
+            "batched and scalar engines diverged"
+        );
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -486,6 +486,10 @@ fn cmd_eval(args: &Args) -> CmdResult {
     manifest
         .with_config("test_triples", test.len())
         .with_config("mrr", summary.mrr)
+        .with_config(
+            "eval.rank.dedup_ratio",
+            kgfd_obs::gauge("eval.rank.dedup_ratio").get(),
+        )
         .emit();
 
     Ok(out)
@@ -590,6 +594,10 @@ fn cmd_discover(args: &Args) -> CmdResult {
         .with_config("consolidate_sides", config.consolidate_sides)
         .with_config("prune_with_rules", config.prune_with_rules)
         .with_config("facts", report.facts.len())
+        .with_config(
+            "eval.rank.dedup_ratio",
+            kgfd_obs::gauge("eval.rank.dedup_ratio").get(),
+        )
         .emit();
 
     Ok(result)

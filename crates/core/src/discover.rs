@@ -13,13 +13,13 @@ use crate::{
     compute_weights, AliasSampler, CandidateRules, DiscoveredFact, DiscoveryReport, Measures,
     RelationBreakdown, StrategyKind,
 };
+use fxhash::{FxBuildHasher, FxHashSet};
 use kgfd_embed::KgeModel;
 use kgfd_eval::rank_all;
 use kgfd_kg::SideIndex;
 use kgfd_kg::{EntityId, KnownTriples, RelationId, Triple, TripleStore};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::HashSet;
 
 /// Configuration of one discovery run (the inputs of Algorithm 1).
 #[derive(Debug, Clone)]
@@ -113,117 +113,80 @@ pub fn discover_facts(
     // entities per side fill the budget in one iteration in expectation.
     let sample_size = (config.max_candidates as f64).sqrt() as usize + 10;
 
+    // Relations are embarrassingly parallel: each draws from its own
+    // seed-derived RNG stream and sees only shared read-only state, so the
+    // outcome of one never depends on which others run or where. Workers
+    // take contiguous chunks and results merge in relation order, keeping
+    // the report byte-identical to a sequential run at any thread count.
+    // When the outer loop is parallel, per-relation candidate ranking runs
+    // single-threaded — the relation fan-out already owns the budget.
+    let workers = config.threads.max(1).min(relations.len().max(1));
+    let outcomes: Vec<RelationOutcome> = if workers <= 1 {
+        relations
+            .iter()
+            .map(|&r| {
+                discover_relation(
+                    model,
+                    store,
+                    config,
+                    r,
+                    &measures,
+                    &known,
+                    rules.as_ref(),
+                    consolidated.as_ref(),
+                    sample_size,
+                    config.threads,
+                )
+            })
+            .collect()
+    } else {
+        let chunk = relations.len().div_ceil(workers);
+        let mut collected = Vec::with_capacity(relations.len());
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = relations
+                .chunks(chunk)
+                .map(|part| {
+                    let measures = &measures;
+                    let known = &known;
+                    let rules = rules.as_ref();
+                    let consolidated = consolidated.as_ref();
+                    scope.spawn(move |_| {
+                        part.iter()
+                            .map(|&r| {
+                                discover_relation(
+                                    model,
+                                    store,
+                                    config,
+                                    r,
+                                    measures,
+                                    known,
+                                    rules,
+                                    consolidated,
+                                    sample_size,
+                                    1,
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                collected.extend(h.join().expect("discovery worker panicked"));
+            }
+        })
+        .expect("crossbeam scope failed");
+        collected
+    };
+
     let mut facts = Vec::new();
-    let mut per_relation = Vec::with_capacity(relations.len());
+    let mut per_relation = Vec::with_capacity(outcomes.len());
     let mut generation = std::time::Duration::ZERO;
     let mut evaluation = std::time::Duration::ZERO;
-
-    for r in relations {
-        // Independent stream per relation: results do not depend on which
-        // other relations run or in what order.
-        let mut rng = StdRng::seed_from_u64(
-            config
-                .seed
-                .wrapping_add((r.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
-        );
-
-        let gen_span = kgfd_obs::span!("discover.generation", relation = r.0);
-        let (subject_pool, object_pool) = match &consolidated {
-            Some((s_pool, o_pool)) => (s_pool, o_pool),
-            None => (store.subject_index(r), store.object_index(r)),
-        };
-        if subject_pool.is_empty() || object_pool.is_empty() {
-            per_relation.push(RelationBreakdown {
-                relation: r,
-                candidates: 0,
-                facts: 0,
-                pruned: 0,
-                iterations: 0,
-                generation: gen_span.finish(),
-                evaluation: std::time::Duration::ZERO,
-            });
-            continue;
-        }
-        let mut s_weights = compute_weights(config.strategy, &measures, subject_pool);
-        let mut o_weights = compute_weights(config.strategy, &measures, object_pool);
-        if config.exploration_epsilon > 0.0 {
-            mix_uniform(&mut s_weights, config.exploration_epsilon);
-            mix_uniform(&mut o_weights, config.exploration_epsilon);
-        }
-        let s_sampler = AliasSampler::new(&s_weights);
-        let o_sampler = AliasSampler::new(&o_weights);
-
-        let mut local: Vec<Triple> = Vec::with_capacity(config.max_candidates);
-        let mut local_seen: HashSet<Triple> = HashSet::with_capacity(config.max_candidates * 2);
-        let mut iterations = 0usize;
-        let mut pruned = 0usize;
-        while local.len() < config.max_candidates && iterations < config.max_iterations {
-            iterations += 1;
-            let s_samples: Vec<EntityId> = (0..sample_size)
-                .map(|_| subject_pool.entities[s_sampler.sample(&mut rng)])
-                .collect();
-            let o_samples: Vec<EntityId> = (0..sample_size)
-                .map(|_| object_pool.entities[o_sampler.sample(&mut rng)])
-                .collect();
-            // Lines 11–13: mesh grid, filter seen, append.
-            'grid: for &s in &s_samples {
-                for &o in &o_samples {
-                    let t = Triple {
-                        subject: s,
-                        relation: r,
-                        object: o,
-                    };
-                    if store.contains(&t) || !local_seen.insert(t) {
-                        continue;
-                    }
-                    if let Some(rules) = &rules {
-                        if !rules.admits(store, &t) {
-                            pruned += 1;
-                            continue;
-                        }
-                    }
-                    local.push(t);
-                    if local.len() >= config.max_candidates {
-                        break 'grid;
-                    }
-                }
-            }
-        }
-        let gen_elapsed = gen_span.finish();
-        generation += gen_elapsed;
-        kgfd_obs::counter("discover.generation.candidates").add(local.len() as u64);
-        kgfd_obs::counter("discover.generation.pruned").add(pruned as u64);
-
-        // Lines 14–15: rank candidates, keep those within top_n.
-        let eval_span = kgfd_obs::span!("discover.evaluation", relation = r.0);
-        let ranks = rank_all(model, &local, Some(&known), config.threads);
-        let mut kept = 0usize;
-        for (t, r2) in local.iter().zip(&ranks) {
-            let rank = r2.mean();
-            if rank > config.top_n as f64 {
-                continue;
-            }
-            if let Some((calibration, threshold)) = &config.min_probability {
-                if calibration.probability(model.score(*t)) <= *threshold {
-                    continue;
-                }
-            }
-            kept += 1;
-            facts.push(DiscoveredFact { triple: *t, rank });
-        }
-        let eval_elapsed = eval_span.finish();
-        evaluation += eval_elapsed;
-        kgfd_obs::counter("discover.evaluation.facts").add(kept as u64);
-
-        per_relation.push(RelationBreakdown {
-            relation: r,
-            candidates: local.len(),
-            facts: kept,
-            pruned,
-            iterations,
-            generation: gen_elapsed,
-            evaluation: eval_elapsed,
-        });
+    for outcome in outcomes {
+        generation += outcome.breakdown.generation;
+        evaluation += outcome.breakdown.evaluation;
+        facts.extend(outcome.facts);
+        per_relation.push(outcome.breakdown);
     }
 
     DiscoveryReport {
@@ -237,6 +200,141 @@ pub fn discover_facts(
         evaluation,
         total: total_span.finish(),
     }
+}
+
+/// One relation's share of a discovery run: its kept facts plus the
+/// [`RelationBreakdown`] bookkeeping row.
+struct RelationOutcome {
+    facts: Vec<DiscoveredFact>,
+    breakdown: RelationBreakdown,
+}
+
+/// Generation + ranking for a single relation (Algorithm 1 lines 4–15).
+/// Deterministic given `config.seed` and `r` alone — safe to run for many
+/// relations concurrently.
+#[allow(clippy::too_many_arguments)]
+fn discover_relation(
+    model: &dyn KgeModel,
+    store: &TripleStore,
+    config: &DiscoveryConfig,
+    r: RelationId,
+    measures: &Measures,
+    known: &KnownTriples,
+    rules: Option<&CandidateRules>,
+    consolidated: Option<&(SideIndex, SideIndex)>,
+    sample_size: usize,
+    rank_threads: usize,
+) -> RelationOutcome {
+    // Independent stream per relation: results do not depend on which
+    // other relations run or in what order.
+    let stream_seed = config
+        .seed
+        .wrapping_add((r.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut rng = StdRng::seed_from_u64(stream_seed);
+
+    let gen_span = kgfd_obs::span!("discover.generation", relation = r.0);
+    let (subject_pool, object_pool) = match consolidated {
+        Some((s_pool, o_pool)) => (s_pool, o_pool),
+        None => (store.subject_index(r), store.object_index(r)),
+    };
+    if subject_pool.is_empty() || object_pool.is_empty() {
+        return RelationOutcome {
+            facts: Vec::new(),
+            breakdown: RelationBreakdown {
+                relation: r,
+                candidates: 0,
+                facts: 0,
+                pruned: 0,
+                iterations: 0,
+                generation: gen_span.finish(),
+                evaluation: std::time::Duration::ZERO,
+            },
+        };
+    }
+    let mut s_weights = compute_weights(config.strategy, measures, subject_pool);
+    let mut o_weights = compute_weights(config.strategy, measures, object_pool);
+    if config.exploration_epsilon > 0.0 {
+        mix_uniform(&mut s_weights, config.exploration_epsilon);
+        mix_uniform(&mut o_weights, config.exploration_epsilon);
+    }
+    let s_sampler = AliasSampler::new(&s_weights);
+    let o_sampler = AliasSampler::new(&o_weights);
+
+    let mut local: Vec<Triple> = Vec::with_capacity(config.max_candidates);
+    // Seeded fast-hash dedup: candidate volume is bounded by
+    // `max_candidates`, so pre-size the set to skip rehashing; the seed keeps
+    // bucket layout independent of any ambient hasher randomisation.
+    let mut local_seen: FxHashSet<Triple> = FxHashSet::with_capacity_and_hasher(
+        config.max_candidates * 2,
+        FxBuildHasher::seeded(stream_seed),
+    );
+    let mut iterations = 0usize;
+    let mut pruned = 0usize;
+    while local.len() < config.max_candidates && iterations < config.max_iterations {
+        iterations += 1;
+        let s_samples: Vec<EntityId> = (0..sample_size)
+            .map(|_| subject_pool.entities[s_sampler.sample(&mut rng)])
+            .collect();
+        let o_samples: Vec<EntityId> = (0..sample_size)
+            .map(|_| object_pool.entities[o_sampler.sample(&mut rng)])
+            .collect();
+        // Lines 11–13: mesh grid, filter seen, append.
+        'grid: for &s in &s_samples {
+            for &o in &o_samples {
+                let t = Triple {
+                    subject: s,
+                    relation: r,
+                    object: o,
+                };
+                if store.contains(&t) || !local_seen.insert(t) {
+                    continue;
+                }
+                if let Some(rules) = rules {
+                    if !rules.admits(store, &t) {
+                        pruned += 1;
+                        continue;
+                    }
+                }
+                local.push(t);
+                if local.len() >= config.max_candidates {
+                    break 'grid;
+                }
+            }
+        }
+    }
+    let gen_elapsed = gen_span.finish();
+    kgfd_obs::counter("discover.generation.candidates").add(local.len() as u64);
+    kgfd_obs::counter("discover.generation.pruned").add(pruned as u64);
+
+    // Lines 14–15: rank candidates, keep those within top_n.
+    let eval_span = kgfd_obs::span!("discover.evaluation", relation = r.0);
+    let ranks = rank_all(model, &local, Some(known), rank_threads);
+    let mut facts = Vec::new();
+    for (t, r2) in local.iter().zip(&ranks) {
+        let rank = r2.mean();
+        if rank > config.top_n as f64 {
+            continue;
+        }
+        if let Some((calibration, threshold)) = &config.min_probability {
+            if calibration.probability(model.score(*t)) <= *threshold {
+                continue;
+            }
+        }
+        facts.push(DiscoveredFact { triple: *t, rank });
+    }
+    let eval_elapsed = eval_span.finish();
+    kgfd_obs::counter("discover.evaluation.facts").add(facts.len() as u64);
+
+    let breakdown = RelationBreakdown {
+        relation: r,
+        candidates: local.len(),
+        facts: facts.len(),
+        pruned,
+        iterations,
+        generation: gen_elapsed,
+        evaluation: eval_elapsed,
+    };
+    RelationOutcome { facts, breakdown }
 }
 
 /// Graph-global side pool: every entity occurring on `side` of any triple,
@@ -310,11 +408,11 @@ mod tests {
     #[test]
     fn span_derived_phase_durations_fit_inside_the_total() {
         let (data, model) = trained_toy();
-        let report = discover_facts(
-            model.as_ref(),
-            &data.train,
-            &quick_config(StrategyKind::UniformRandom),
-        );
+        // Sequential run: with relations processed in parallel the summed
+        // per-relation spans legitimately exceed the wall-clock total.
+        let mut cfg = quick_config(StrategyKind::UniformRandom);
+        cfg.threads = 1;
+        let report = discover_facts(model.as_ref(), &data.train, &cfg);
         assert!(report.preparation + report.generation + report.evaluation <= report.total);
         let per_rel_gen: std::time::Duration =
             report.per_relation.iter().map(|r| r.generation).sum();

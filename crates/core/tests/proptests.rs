@@ -158,6 +158,30 @@ proptest! {
     }
 
     #[test]
+    fn seeded_fxhash_dedup_matches_std_hashset_dedup(
+        raw in proptest::collection::vec((0..N, 0..K, 0..N), 0..80),
+        seed in 0u64..1000
+    ) {
+        // The candidate-generation loop dedups triples through a seeded
+        // FxHashSet; first-seen filtering must behave exactly like the std
+        // HashSet it replaced, for any stream and any hasher seed.
+        let stream: Vec<Triple> = raw.into_iter().map(|(s, r, o)| Triple::new(s, r, o)).collect();
+        let mut fx: fxhash::FxHashSet<Triple> = fxhash::FxHashSet::with_capacity_and_hasher(
+            stream.len() * 2,
+            fxhash::FxBuildHasher::seeded(seed),
+        );
+        let mut std_set = std::collections::HashSet::new();
+        let kept_fx: Vec<Triple> = stream.iter().copied().filter(|t| fx.insert(*t)).collect();
+        let kept_std: Vec<Triple> =
+            stream.iter().copied().filter(|t| std_set.insert(*t)).collect();
+        prop_assert_eq!(&kept_fx, &kept_std);
+        prop_assert_eq!(fx.len(), std_set.len());
+        for t in &stream {
+            prop_assert_eq!(fx.contains(t), std_set.contains(t));
+        }
+    }
+
+    #[test]
     fn sampled_entities_come_from_relation_pools(store in arb_store(), seed in 0u64..50) {
         let model = new_model(ModelKind::TransE, N as usize, K as usize, 8, seed);
         let config = DiscoveryConfig {

@@ -1,0 +1,207 @@
+//! Tiled entity-table sweeps shared by the batched scoring kernels.
+//!
+//! Every dot-product-family model reduces a side query to a *query vector*
+//! (or a translation point) that is then combined with each row of the
+//! entity table. The single-query kernels therefore sweep the whole
+//! `N × dim` table once per query. The helpers here sweep it once per
+//! **tile of [`QUERY_TILE`] queries** instead: the outer loop walks entity
+//! rows, the inner loop the queries of the tile, so a row loaded from
+//! memory is reused `QUERY_TILE` times before being evicted.
+//!
+//! **Bit-identical-scores contract:** for each `(query, entity)` pair the
+//! reduction below is the exact expression of the corresponding
+//! single-query kernel, in the same summation order over `dim`. Tiling only
+//! reorders *independent* output slots, so batched scores are bitwise equal
+//! to looped single-query scores — the differential suites in
+//! `tests/batch_kernels.rs` and `kgfd-eval` hold both paths to that.
+//!
+//! Output layout is query-major: `out[q * N + e]` is query `q`'s score for
+//! entity `e`, with `N = entities.rows()`.
+
+use crate::math::{dot, l1_distance, l2_distance};
+use crate::ParamTable;
+
+/// Queries per entity-table sweep. Sized so a tile of query vectors stays
+/// resident in L1 alongside the streamed entity row at typical dims.
+pub const QUERY_TILE: usize = 8;
+
+#[inline]
+fn check_shapes(entities: &ParamTable, qvecs: &[f32], dim: usize, out: &[f32]) -> usize {
+    debug_assert!(dim > 0);
+    debug_assert_eq!(entities.cols(), dim);
+    debug_assert_eq!(qvecs.len() % dim, 0);
+    let q = qvecs.len() / dim;
+    debug_assert_eq!(out.len(), q * entities.rows());
+    q
+}
+
+/// `out[q·N + e] = dot(qvecs[q], entity_e)`, one table sweep per tile.
+///
+/// `scale` post-multiplies each dot (SimplE's `½`); `None` stores the dot
+/// verbatim, exactly as the unscaled single-query kernels do.
+pub fn dot_sweep(
+    entities: &ParamTable,
+    qvecs: &[f32],
+    dim: usize,
+    scale: Option<f32>,
+    out: &mut [f32],
+) {
+    let q = check_shapes(entities, qvecs, dim, out);
+    let n = entities.rows();
+    let mut tile_start = 0;
+    while tile_start < q {
+        let tile_end = (tile_start + QUERY_TILE).min(q);
+        for e in 0..n {
+            let row = entities.row(e);
+            for qi in tile_start..tile_end {
+                let d = dot(&qvecs[qi * dim..(qi + 1) * dim], row);
+                out[qi * n + e] = match scale {
+                    None => d,
+                    Some(s) => s * d,
+                };
+            }
+        }
+        tile_start = tile_end;
+    }
+}
+
+/// `out[q·N + e] = −‖entity_e − points[q]‖₁` (TransE-L1 sweep).
+pub fn neg_l1_sweep(entities: &ParamTable, points: &[f32], dim: usize, out: &mut [f32]) {
+    let q = check_shapes(entities, points, dim, out);
+    let n = entities.rows();
+    let mut tile_start = 0;
+    while tile_start < q {
+        let tile_end = (tile_start + QUERY_TILE).min(q);
+        for e in 0..n {
+            let row = entities.row(e);
+            for qi in tile_start..tile_end {
+                out[qi * n + e] = -l1_distance(row, &points[qi * dim..(qi + 1) * dim]);
+            }
+        }
+        tile_start = tile_end;
+    }
+}
+
+/// `out[q·N + e] = −‖entity_e − points[q]‖₂` (TransE-L2 sweep).
+pub fn neg_l2_sweep(entities: &ParamTable, points: &[f32], dim: usize, out: &mut [f32]) {
+    let q = check_shapes(entities, points, dim, out);
+    let n = entities.rows();
+    let mut tile_start = 0;
+    while tile_start < q {
+        let tile_end = (tile_start + QUERY_TILE).min(q);
+        for e in 0..n {
+            let row = entities.row(e);
+            for qi in tile_start..tile_end {
+                out[qi * n + e] = -l2_distance(row, &points[qi * dim..(qi + 1) * dim]);
+            }
+        }
+        tile_start = tile_end;
+    }
+}
+
+/// `out[q·N + e] = −Σᵢ |pointsᵢ[q] − entityᵢ_e|` over complex components
+/// stored `[re.. | im..]` (RotatE's sweep). The per-component expression
+/// matches `RotatE::neg_complex_l1(point, row)` exactly.
+pub fn neg_complex_l1_sweep(entities: &ParamTable, points: &[f32], dim: usize, out: &mut [f32]) {
+    let q = check_shapes(entities, points, dim, out);
+    let n = entities.rows();
+    let m = dim / 2;
+    let mut tile_start = 0;
+    while tile_start < q {
+        let tile_end = (tile_start + QUERY_TILE).min(q);
+        for e in 0..n {
+            let row = entities.row(e);
+            for qi in tile_start..tile_end {
+                let point = &points[qi * dim..(qi + 1) * dim];
+                let mut acc = 0.0;
+                for i in 0..m {
+                    let u = point[i] - row[i];
+                    let v = point[m + i] - row[m + i];
+                    acc += (u * u + v * v).sqrt();
+                }
+                out[qi * n + e] = -acc;
+            }
+        }
+        tile_start = tile_end;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(rows: usize, cols: usize, seed: u64) -> ParamTable {
+        let mut t = ParamTable::zeros(rows, cols);
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        crate::init::xavier_uniform(&mut t, &mut rng);
+        t
+    }
+
+    #[test]
+    fn dot_sweep_matches_per_query_dots_bitwise() {
+        let entities = table(13, 6, 1);
+        let qvecs = table(11, 6, 2);
+        let mut out = vec![0.0; 11 * 13];
+        dot_sweep(&entities, qvecs.data(), 6, None, &mut out);
+        for qi in 0..11 {
+            for e in 0..13 {
+                let expect = dot(qvecs.row(qi), entities.row(e));
+                assert_eq!(out[qi * 13 + e].to_bits(), expect.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_dot_sweep_applies_scale_after_the_dot() {
+        let entities = table(5, 4, 3);
+        let qvecs = table(3, 4, 4);
+        let mut out = vec![0.0; 3 * 5];
+        dot_sweep(&entities, qvecs.data(), 4, Some(0.5), &mut out);
+        for qi in 0..3 {
+            for e in 0..5 {
+                let expect = 0.5 * dot(qvecs.row(qi), entities.row(e));
+                assert_eq!(out[qi * 5 + e].to_bits(), expect.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn distance_sweeps_match_per_query_distances_bitwise() {
+        // More queries than one tile, so the tile loop is exercised.
+        let entities = table(7, 4, 5);
+        let points = table(QUERY_TILE + 3, 4, 6);
+        let q = QUERY_TILE + 3;
+        let mut l1 = vec![0.0; q * 7];
+        let mut l2 = vec![0.0; q * 7];
+        neg_l1_sweep(&entities, points.data(), 4, &mut l1);
+        neg_l2_sweep(&entities, points.data(), 4, &mut l2);
+        for qi in 0..q {
+            for e in 0..7 {
+                let e1 = -l1_distance(entities.row(e), points.row(qi));
+                let e2 = -l2_distance(entities.row(e), points.row(qi));
+                assert_eq!(l1[qi * 7 + e].to_bits(), e1.to_bits());
+                assert_eq!(l2[qi * 7 + e].to_bits(), e2.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn complex_sweep_matches_scalar_formula_bitwise() {
+        let entities = table(6, 8, 7);
+        let points = table(4, 8, 8);
+        let mut out = vec![0.0; 4 * 6];
+        neg_complex_l1_sweep(&entities, points.data(), 8, &mut out);
+        for qi in 0..4 {
+            for e in 0..6 {
+                let (p, row) = (points.row(qi), entities.row(e));
+                let mut acc = 0.0;
+                for i in 0..4 {
+                    let u = p[i] - row[i];
+                    let v = p[4 + i] - row[4 + i];
+                    acc += (u * u + v * v).sqrt();
+                }
+                assert_eq!(out[qi * 6 + e].to_bits(), (-acc).to_bits());
+            }
+        }
+    }
+}

@@ -23,6 +23,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 mod loss;
 pub mod math;
 mod model;

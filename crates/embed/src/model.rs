@@ -191,6 +191,37 @@ pub trait KgeModel: Send + Sync {
     /// Fills `out[e] = score(e, r, o)` for every entity `e`.
     fn score_subjects(&self, r: RelationId, o: EntityId, out: &mut [f32]);
 
+    /// Scores a batch of object-side queries in one call:
+    /// `out[q * num_entities() + e] = score(queries[q].0, queries[q].1, e)`.
+    /// `out.len()` must be `queries.len() * num_entities()`.
+    ///
+    /// The default loops [`score_objects`](KgeModel::score_objects); the
+    /// dot-product-family models override it with kernels that sweep the
+    /// entity table once per tile of queries (see [`crate::batch`]) while
+    /// keeping every per-`(query, entity)` reduction in the single-query
+    /// summation order, so batched scores are **bit-identical** to looped
+    /// ones — ranks computed from either path are equal.
+    fn score_objects_batch(&self, queries: &[(EntityId, RelationId)], out: &mut [f32]) {
+        let n = self.num_entities();
+        debug_assert_eq!(out.len(), queries.len() * n);
+        for (&(s, r), row) in queries.iter().zip(out.chunks_mut(n)) {
+            self.score_objects(s, r, row);
+        }
+    }
+
+    /// Scores a batch of subject-side queries in one call:
+    /// `out[q * num_entities() + e] = score(e, queries[q].0, queries[q].1)`.
+    /// `out.len()` must be `queries.len() * num_entities()`. Same
+    /// bit-identical contract as
+    /// [`score_objects_batch`](KgeModel::score_objects_batch).
+    fn score_subjects_batch(&self, queries: &[(RelationId, EntityId)], out: &mut [f32]) {
+        let n = self.num_entities();
+        debug_assert_eq!(out.len(), queries.len() * n);
+        for (&(r, o), row) in queries.iter().zip(out.chunks_mut(n)) {
+            self.score_subjects(r, o, row);
+        }
+    }
+
     /// Accumulates `upstream · ∂score(t)/∂θ` into `grads`.
     fn backward(&self, t: Triple, upstream: f32, grads: &mut Gradients);
 

@@ -158,6 +158,24 @@ impl KgeModel for ComplEx {
         self.dot_all_entities(&query, out);
     }
 
+    fn score_objects_batch(&self, queries: &[(EntityId, RelationId)], out: &mut [f32]) {
+        debug_assert_eq!(out.len(), queries.len() * self.num_entities);
+        let mut qvecs = vec![0.0; queries.len() * self.dim];
+        for (qvec, &(s, r)) in qvecs.chunks_mut(self.dim).zip(queries) {
+            Self::object_query(self.entity(s), self.relation(r), qvec);
+        }
+        crate::batch::dot_sweep(self.params.table(ENTITY_TABLE), &qvecs, self.dim, None, out);
+    }
+
+    fn score_subjects_batch(&self, queries: &[(RelationId, EntityId)], out: &mut [f32]) {
+        debug_assert_eq!(out.len(), queries.len() * self.num_entities);
+        let mut qvecs = vec![0.0; queries.len() * self.dim];
+        for (qvec, &(r, o)) in qvecs.chunks_mut(self.dim).zip(queries) {
+            Self::subject_query(self.relation(r), self.entity(o), qvec);
+        }
+        crate::batch::dot_sweep(self.params.table(ENTITY_TABLE), &qvecs, self.dim, None, out);
+    }
+
     fn backward(&self, t: Triple, upstream: f32, grads: &mut Gradients) {
         let s = self.entity(t.subject);
         let r = self.relation(t.relation);

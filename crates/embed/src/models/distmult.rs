@@ -109,6 +109,24 @@ impl KgeModel for DistMult {
         self.dot_all_entities(&query, out);
     }
 
+    fn score_objects_batch(&self, queries: &[(EntityId, RelationId)], out: &mut [f32]) {
+        debug_assert_eq!(out.len(), queries.len() * self.num_entities);
+        let mut qvecs = vec![0.0; queries.len() * self.dim];
+        for (qvec, &(s, r)) in qvecs.chunks_mut(self.dim).zip(queries) {
+            hadamard(qvec, self.entity(s), self.relation(r));
+        }
+        crate::batch::dot_sweep(self.params.table(ENTITY_TABLE), &qvecs, self.dim, None, out);
+    }
+
+    fn score_subjects_batch(&self, queries: &[(RelationId, EntityId)], out: &mut [f32]) {
+        debug_assert_eq!(out.len(), queries.len() * self.num_entities);
+        let mut qvecs = vec![0.0; queries.len() * self.dim];
+        for (qvec, &(r, o)) in qvecs.chunks_mut(self.dim).zip(queries) {
+            hadamard(qvec, self.relation(r), self.entity(o));
+        }
+        crate::batch::dot_sweep(self.params.table(ENTITY_TABLE), &qvecs, self.dim, None, out);
+    }
+
     fn backward(&self, t: Triple, upstream: f32, grads: &mut Gradients) {
         let dim = self.dim;
         let mut buf = vec![0.0; dim];

@@ -141,6 +141,38 @@ impl KgeModel for SimplE {
         }
     }
 
+    fn score_objects_batch(&self, queries: &[(EntityId, RelationId)], out: &mut [f32]) {
+        debug_assert_eq!(out.len(), queries.len() * self.num_entities);
+        let l = self.half;
+        let mut qvecs = vec![0.0; queries.len() * 2 * l];
+        for (qvec, &(s, r)) in qvecs.chunks_mut(2 * l).zip(queries) {
+            let sv = self.entity(s);
+            let rv = self.relation(r);
+            for i in 0..l {
+                qvec[l + i] = sv[i] * rv[i]; // pairs with t_o
+                qvec[i] = sv[l + i] * rv[l + i]; // pairs with h_o
+            }
+        }
+        let entities = self.params.table(ENTITY_TABLE);
+        crate::batch::dot_sweep(entities, &qvecs, 2 * l, Some(0.5), out);
+    }
+
+    fn score_subjects_batch(&self, queries: &[(RelationId, EntityId)], out: &mut [f32]) {
+        debug_assert_eq!(out.len(), queries.len() * self.num_entities);
+        let l = self.half;
+        let mut qvecs = vec![0.0; queries.len() * 2 * l];
+        for (qvec, &(r, o)) in qvecs.chunks_mut(2 * l).zip(queries) {
+            let ov = self.entity(o);
+            let rv = self.relation(r);
+            for i in 0..l {
+                qvec[i] = rv[i] * ov[l + i];
+                qvec[l + i] = rv[l + i] * ov[i];
+            }
+        }
+        let entities = self.params.table(ENTITY_TABLE);
+        crate::batch::dot_sweep(entities, &qvecs, 2 * l, Some(0.5), out);
+    }
+
     fn backward(&self, t: Triple, upstream: f32, grads: &mut Gradients) {
         let l = self.half;
         let s = self.entity(t.subject);

@@ -160,6 +160,34 @@ impl KgeModel for TransE {
         }
     }
 
+    fn score_objects_batch(&self, queries: &[(EntityId, RelationId)], out: &mut [f32]) {
+        debug_assert_eq!(out.len(), queries.len() * self.num_entities);
+        let mut points = vec![0.0; queries.len() * self.dim];
+        for (point, &(s, r)) in points.chunks_mut(self.dim).zip(queries) {
+            point.copy_from_slice(self.entity(s));
+            add_scaled(point, self.relation(r), 1.0);
+        }
+        let entities = self.params.table(ENTITY_TABLE);
+        match self.distance {
+            Distance::L1 => crate::batch::neg_l1_sweep(entities, &points, self.dim, out),
+            Distance::L2 => crate::batch::neg_l2_sweep(entities, &points, self.dim, out),
+        }
+    }
+
+    fn score_subjects_batch(&self, queries: &[(RelationId, EntityId)], out: &mut [f32]) {
+        debug_assert_eq!(out.len(), queries.len() * self.num_entities);
+        let mut points = vec![0.0; queries.len() * self.dim];
+        for (point, &(r, o)) in points.chunks_mut(self.dim).zip(queries) {
+            point.copy_from_slice(self.entity(o));
+            add_scaled(point, self.relation(r), -1.0);
+        }
+        let entities = self.params.table(ENTITY_TABLE);
+        match self.distance {
+            Distance::L1 => crate::batch::neg_l1_sweep(entities, &points, self.dim, out),
+            Distance::L2 => crate::batch::neg_l2_sweep(entities, &points, self.dim, out),
+        }
+    }
+
     fn backward(&self, t: Triple, upstream: f32, grads: &mut Gradients) {
         let s = self.entity(t.subject);
         let r = self.relation(t.relation);

@@ -21,6 +21,7 @@
 
 #![warn(missing_docs)]
 
+mod batch;
 mod calibration;
 mod classification;
 mod heldout;
@@ -30,11 +31,14 @@ mod ranking;
 mod selection;
 mod stratified;
 
+pub use batch::{BatchRankStats, BatchRanker};
 pub use calibration::Calibration;
 pub use classification::Thresholds;
 pub use heldout::{score_against_held_out, HeldOutReport};
 pub use metrics::{hits_at, mean_rank, mrr, RankingSummary};
-pub use protocol::{evaluate_per_relation, evaluate_ranking, rank_all, PerRelationSummary};
+pub use protocol::{
+    evaluate_per_relation, evaluate_ranking, rank_all, rank_all_scalar, PerRelationSummary,
+};
 pub use ranking::{rank_triple, rank_with_exclusions, RankScratch, TripleRanks};
 pub use selection::{
     grid_search, train_with_early_stopping, EarlyStopping, SearchResult, SearchSpace,

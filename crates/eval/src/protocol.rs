@@ -22,6 +22,12 @@ pub fn evaluate_ranking(
 }
 
 /// Computes both-side ranks for every triple, in input order.
+///
+/// Runs the batched, query-deduplicated engine ([`crate::BatchRanker`]):
+/// duplicate `(s, r)` / `(r, o)` side queries are scored once and shared.
+/// Ranks are identical to the scalar per-triple path
+/// ([`rank_all_scalar`]) — the batched kernels are bit-exact — just
+/// cheaper whenever queries repeat.
 pub fn rank_all(
     model: &dyn KgeModel,
     triples: &[Triple],
@@ -29,7 +35,7 @@ pub fn rank_all(
     threads: usize,
 ) -> Vec<TripleRanks> {
     let start = std::time::Instant::now();
-    let ranks = rank_all_inner(model, triples, known, threads);
+    let ranks = crate::BatchRanker::new(model, threads).rank_all(triples, known);
     let secs = start.elapsed().as_secs_f64();
     kgfd_obs::counter("eval.rank.triples_ranked").add(triples.len() as u64);
     if !triples.is_empty() && secs > 0.0 {
@@ -44,7 +50,10 @@ pub fn rank_all(
     ranks
 }
 
-fn rank_all_inner(
+/// The pre-batching scalar path: two full entity sweeps per triple with no
+/// work sharing, parallelised over triples. Kept as the differential-test
+/// oracle and benchmark baseline for [`rank_all`].
+pub fn rank_all_scalar(
     model: &dyn KgeModel,
     triples: &[Triple],
     known: Option<&KnownTriples>,

@@ -41,15 +41,26 @@ impl TripleRanks {
 ///
 /// `exclude` must be sorted ascending (as produced by [`KnownTriples`]);
 /// `target` itself always competes even if listed there.
+///
+/// The exclusion check is a two-pointer merge walk over the sorted list —
+/// O(N + E) against the O(N log E) of a per-entity binary search, which
+/// matters because this runs once per (triple, side) on the evaluation hot
+/// path.
 pub fn rank_with_exclusions(scores: &[f32], target: EntityId, exclude: &[EntityId]) -> f64 {
     let target_score = scores[target.index()];
     let mut greater = 0u64;
     let mut ties = 0u64;
+    // Cursor into the sorted exclusion list; advanced in lockstep with `e`.
+    let mut xi = 0usize;
     for (e, &score) in scores.iter().enumerate() {
-        if e == target.index() {
-            continue;
+        while xi < exclude.len() && exclude[xi].index() < e {
+            xi += 1;
         }
-        if exclude.binary_search(&EntityId(e as u32)).is_ok() {
+        let excluded = xi < exclude.len() && exclude[xi].index() == e;
+        if excluded {
+            xi += 1;
+        }
+        if e == target.index() || excluded {
             continue;
         }
         // NaN never outranks: both comparisons below are false for NaN.

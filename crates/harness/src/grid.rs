@@ -164,6 +164,10 @@ pub fn run_grid(scale: Scale, options: &GridOptions) -> GridResults {
                     .with_config("top_n", options.top_n)
                     .with_config("max_candidates", options.max_candidates)
                     .with_config("facts", report.facts.len())
+                    .with_config(
+                        "eval.rank.dedup_ratio",
+                        kgfd_obs::gauge("eval.rank.dedup_ratio").get(),
+                    )
                     .emit();
                 cells.push(GridCell {
                     dataset,

@@ -152,6 +152,10 @@ pub fn run_sweep(scale: Scale, options: &SweepOptions) -> SweepResults {
                     .with_config("max_candidates", max_candidates)
                     .with_config("top_n", top_n)
                     .with_config("facts", report.facts.len())
+                    .with_config(
+                        "eval.rank.dedup_ratio",
+                        kgfd_obs::gauge("eval.rank.dedup_ratio").get(),
+                    )
                     .emit();
                 cells.push(SweepCell {
                     strategy,

@@ -202,3 +202,47 @@ fn thread_count_does_not_change_results() {
     };
     assert_eq!(run(1), run(8));
 }
+
+/// The differential contract of the parallel discovery loop: with the outer
+/// per-relation fan-out at `threads = 1` vs `= 4`, the *entire* report —
+/// facts, per-relation candidate/fact/pruned/iteration counts, relation
+/// order — must match, not just the fact list. (Durations are the only
+/// fields allowed to differ.)
+#[test]
+fn discovery_report_is_thread_count_invariant() {
+    let data = generate(&mini(&wn18rr_like())).unwrap();
+    let (model, _) = train(
+        ModelKind::DistMult,
+        &data.train,
+        &TrainConfig {
+            dim: 16,
+            epochs: 8,
+            seed: 17,
+            ..TrainConfig::default()
+        },
+    );
+    let run = |threads: usize| {
+        discover_facts(
+            model.as_ref(),
+            &data.train,
+            &DiscoveryConfig {
+                strategy: StrategyKind::EntityFrequency,
+                top_n: 20,
+                max_candidates: 40,
+                seed: 17,
+                threads,
+                ..DiscoveryConfig::default()
+            },
+        )
+    };
+    let (one, four) = (run(1), run(4));
+    assert_eq!(one.facts, four.facts);
+    assert_eq!(one.per_relation.len(), four.per_relation.len());
+    for (a, b) in one.per_relation.iter().zip(&four.per_relation) {
+        assert_eq!(a.relation, b.relation);
+        assert_eq!(a.candidates, b.candidates);
+        assert_eq!(a.facts, b.facts);
+        assert_eq!(a.pruned, b.pruned);
+        assert_eq!(a.iterations, b.iterations);
+    }
+}

@@ -1,0 +1,181 @@
+//! Offline stand-in for the `fxhash` / `rustc-hash` crate family.
+//!
+//! Implements the Firefox multiply-rotate hash (FxHash): per input word,
+//! `state ← (state ⋘ 5) ⊕ word` followed by a multiplication with a
+//! Fibonacci-style constant. It is not collision-resistant against
+//! adversarial keys, but for the short fixed-width keys this workspace
+//! hashes (triples, id pairs) it is several times faster than SipHash and —
+//! unlike `std`'s default — fully deterministic.
+//!
+//! On top of the plain hasher this stub adds *seeding*: [`FxBuildHasher`]
+//! can fold a caller-supplied seed into the initial state, so hash-flooding
+//! via a fixed published constant can be mitigated while keeping runs
+//! reproducible for a fixed seed.
+
+use std::hash::{BuildHasher, Hasher};
+
+/// Multiplicative constant of the 64-bit FxHash round (2⁶⁴ / φ, forced odd).
+const K: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The FxHash streaming hasher.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    /// A hasher whose initial state folds in `seed`.
+    #[inline]
+    pub fn with_seed(seed: u64) -> Self {
+        FxHasher {
+            state: seed.wrapping_mul(K),
+        }
+    }
+
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            let (head, rest) = bytes.split_at(8);
+            self.add_word(u64::from_le_bytes(head.try_into().unwrap()));
+            bytes = rest;
+        }
+        if bytes.len() >= 4 {
+            let (head, rest) = bytes.split_at(4);
+            self.add_word(u32::from_le_bytes(head.try_into().unwrap()) as u64);
+            bytes = rest;
+        }
+        for &b in bytes {
+            self.add_word(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_word(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_word(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_word(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_word(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_word(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        // Finalize with one extra mix so low-entropy tails still spread
+        // across the high bits HashMap's bucket index is taken from.
+        let h = self.state;
+        (h ^ (h >> 32)).wrapping_mul(K)
+    }
+}
+
+/// Builds seeded [`FxHasher`]s. `Default` uses seed 0 (the classic,
+/// fully-deterministic FxHash behaviour).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FxBuildHasher {
+    seed: u64,
+}
+
+impl FxBuildHasher {
+    /// A build-hasher whose hashers start from `seed`-derived state.
+    #[inline]
+    pub fn seeded(seed: u64) -> Self {
+        FxBuildHasher { seed }
+    }
+}
+
+impl BuildHasher for FxBuildHasher {
+    type Hasher = FxHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> FxHasher {
+        FxHasher::with_seed(self.seed)
+    }
+}
+
+/// `HashSet` keyed by FxHash.
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+/// `HashMap` keyed by FxHash.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(v: &T, seed: u64) -> u64 {
+        let mut h = FxHasher::with_seed(seed);
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_for_a_fixed_seed() {
+        assert_eq!(
+            hash_of(&(1u32, 2u32, 3u32), 7),
+            hash_of(&(1u32, 2u32, 3u32), 7)
+        );
+        assert_eq!(hash_of(&"fact", 0), hash_of(&"fact", 0));
+    }
+
+    #[test]
+    fn seed_changes_the_hash() {
+        assert_ne!(hash_of(&42u64, 1), hash_of(&42u64, 2));
+    }
+
+    #[test]
+    fn distinct_keys_rarely_collide() {
+        let mut seen = std::collections::HashSet::new();
+        for a in 0u32..64 {
+            for b in 0u32..64 {
+                seen.insert(hash_of(&(a, b), 0));
+            }
+        }
+        assert_eq!(seen.len(), 64 * 64, "trivial collisions in a tiny keyspace");
+    }
+
+    #[test]
+    fn set_and_map_aliases_work() {
+        let mut set: FxHashSet<u32> =
+            FxHashSet::with_capacity_and_hasher(8, FxBuildHasher::seeded(3));
+        assert!(set.insert(1));
+        assert!(!set.insert(1));
+        let mut map: FxHashMap<u32, u32> = FxHashMap::default();
+        map.insert(1, 2);
+        assert_eq!(map.get(&1), Some(&2));
+    }
+
+    #[test]
+    fn byte_stream_and_word_writes_cover_all_tail_lengths() {
+        for len in 0..17usize {
+            let bytes: Vec<u8> = (0..len as u8).collect();
+            let mut h1 = FxHasher::default();
+            h1.write(&bytes);
+            let mut h2 = FxHasher::default();
+            h2.write(&bytes);
+            assert_eq!(h1.finish(), h2.finish());
+        }
+    }
+}
