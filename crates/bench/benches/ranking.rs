@@ -88,13 +88,41 @@ fn bench(c: &mut Criterion) {
         ));
     }
 
+    // Tracing overhead on the dup-heavy workload: the same batched ranking
+    // with the span collector recording kernel-tile spans vs disabled. No
+    // export runs — this isolates the per-span record cost.
+    kgfd_obs::disable_tracing();
+    let untraced_s = best_of_3(|| rank_all(model.as_ref(), &dup_heavy, Some(&known), 1));
+    kgfd_obs::enable_tracing();
+    let traced_s = best_of_3(|| rank_all(model.as_ref(), &dup_heavy, Some(&known), 1));
+    let spans_per_run = kgfd_obs::collector().drain().len() / 4; // warmup + 3 timed
+    kgfd_obs::disable_tracing();
+    let overhead_pct = (traced_s / untraced_s - 1.0) * 100.0;
+    println!(
+        "  tracing    dup_heavy  {spans_per_run:>3} spans/run  off {:>8.1}/s  on {:>8.1}/s  overhead {:>5.2}%",
+        dup_heavy.len() as f64 / untraced_s,
+        dup_heavy.len() as f64 / traced_s,
+        overhead_pct
+    );
+
     // `cargo test` runs bench bodies once with `--test`; only a real
     // `cargo bench` run should (re)write the checked-in measurement file.
+    // The overhead gate lives behind the same guard: test-mode timings on
+    // loaded CI boxes are noise, the bench run is the measurement of record.
     if !std::env::args().any(|a| a == "--test") {
+        assert!(
+            overhead_pct < 5.0,
+            "tracing overhead {overhead_pct:.2}% exceeds the 5% budget \
+             (off {untraced_s:.6}s vs on {traced_s:.6}s)"
+        );
         let json = format!(
-            "{{\n  \"bench\": \"ranking\",\n  \"model\": \"transe\",\n  \"entities\": {},\n  \"threads\": 1,\n  \"workloads\": [\n{}\n  ]\n}}\n",
+            "{{\n  \"bench\": \"ranking\",\n  \"model\": \"transe\",\n  \"entities\": {},\n  \"threads\": 1,\n  \"workloads\": [\n{}\n  ],\n  \"tracing_overhead\": {{\"workload\": \"dup_heavy\", \"spans_per_run\": {}, \"off_triples_per_sec\": {:.1}, \"on_triples_per_sec\": {:.1}, \"overhead_pct\": {:.3}}}\n}}\n",
             n,
-            results.join(",\n")
+            results.join(",\n"),
+            spans_per_run,
+            dup_heavy.len() as f64 / untraced_s,
+            dup_heavy.len() as f64 / traced_s,
+            overhead_pct
         );
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ranking.json");
         if let Err(e) = std::fs::write(path, json) {

@@ -72,6 +72,13 @@ OBSERVABILITY (any command):
                         closing run manifest) to FILE
   --progress            human-readable progress lines on stderr (rate-limited)
   --quiet               suppress all stderr output (warnings included)
+  --trace-out <FILE>    collect the hierarchical span tree and write it as
+                        Chrome trace-event JSON (chrome://tracing, Perfetto)
+  --flame-out <FILE>    write the span tree as collapsed-stack flamegraph
+                        text (flamegraph.pl / inferno input)
+  --serve-metrics <ADDR>  serve GET /metrics (Prometheus), /healthz, and
+                        /trace on ADDR (e.g. 127.0.0.1:9464) for the
+                        duration of the run
 
 EXIT CODES:
   0 success            1 runtime error       2 usage error
@@ -132,6 +139,92 @@ fn install_observer(args: &Args) -> Result<kgfd_obs::ScopedObserver, Box<dyn Err
     Ok(kgfd_obs::scoped(observer))
 }
 
+/// An option that requires a value: `Some(value)` when given, `None` when
+/// absent, an error when present as a bare trailing flag.
+fn optional_value(args: &Args, key: &'static str) -> Result<Option<String>, Box<dyn Error>> {
+    match args.get(key) {
+        Some(v) => Ok(Some(v.to_string())),
+        None if args.flag(key) => Err(format!("--{key} needs an argument").into()),
+        None => Ok(None),
+    }
+}
+
+/// What `--trace-out` / `--flame-out` asked for; exports happen in
+/// [`finish_tracing`] after the command completes.
+struct TraceFlags {
+    trace_out: Option<String>,
+    flame_out: Option<String>,
+    enabled: bool,
+}
+
+/// Handles the tracing/serving flags: enables span collection when any of
+/// them is present and binds the live metrics endpoint for
+/// `--serve-metrics`.
+fn tracing_setup(
+    args: &Args,
+) -> Result<(TraceFlags, Option<kgfd_obs::MetricsServer>), Box<dyn Error>> {
+    let trace_out = optional_value(args, "trace-out")?;
+    let flame_out = optional_value(args, "flame-out")?;
+    let serve = optional_value(args, "serve-metrics")?;
+    let enabled = trace_out.is_some() || flame_out.is_some() || serve.is_some();
+    if enabled {
+        kgfd_obs::enable_tracing();
+    }
+    let server = match serve {
+        Some(addr) => {
+            let server = kgfd_obs::MetricsServer::start(&addr)
+                .map_err(|e| format!("cannot serve metrics on {addr}: {e}"))?;
+            // Announce the bound address so `--serve-metrics 127.0.0.1:0`
+            // (ephemeral port) is usable by whoever wants to scrape us.
+            if !args.flag("quiet") {
+                eprintln!("serving metrics on http://{}", server.local_addr());
+            }
+            Some(server)
+        }
+        None => None,
+    };
+    Ok((
+        TraceFlags {
+            trace_out,
+            flame_out,
+            enabled,
+        },
+        server,
+    ))
+}
+
+/// Shuts the metrics endpoint down, drains the collected span tree, and
+/// writes the requested exports. Runs after the command finishes (success
+/// or failure) so a failing run still leaves its partial trace behind.
+fn finish_tracing(
+    flags: &TraceFlags,
+    server: Option<kgfd_obs::MetricsServer>,
+) -> Result<(), Box<dyn Error>> {
+    if let Some(server) = server {
+        server.shutdown();
+    }
+    if !flags.enabled {
+        return Ok(());
+    }
+    // Drain unconditionally: it frees the collected nodes and restores the
+    // disabled-by-default state for in-process callers (tests, harness).
+    let records = kgfd_obs::collector().drain();
+    kgfd_obs::disable_tracing();
+    if flags.trace_out.is_none() && flags.flame_out.is_none() {
+        return Ok(());
+    }
+    let tree = kgfd_obs::TraceTree::build(records);
+    if let Some(path) = &flags.trace_out {
+        std::fs::write(path, kgfd_obs::chrome_trace(&tree))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    if let Some(path) = &flags.flame_out {
+        std::fs::write(path, kgfd_obs::flamegraph_collapsed(&tree))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    Ok(())
+}
+
 /// The dataset shape of a training graph, for run manifests.
 fn dataset_shape(store: &TripleStore) -> kgfd_obs::DatasetShape {
     kgfd_obs::DatasetShape {
@@ -144,7 +237,21 @@ fn dataset_shape(store: &TripleStore) -> kgfd_obs::DatasetShape {
 /// Dispatches a parsed command line.
 pub fn run(args: &Args) -> CmdResult {
     let _observer = install_observer(args)?;
-    dispatch(args)
+    let (trace_flags, server) = tracing_setup(args)?;
+    let root_span = args.command.as_deref().map(|cmd| {
+        kgfd_obs::set_phase(cmd);
+        // One trace-only root per invocation: everything the command opens
+        // (discover.total, training epochs, ...) nests under it, so trace
+        // exports have a single root whose duration is the run itself.
+        kgfd_obs::Span::with_fields_traced(
+            "cli.command",
+            vec![kgfd_obs::Field::new("command", cmd)],
+        )
+    });
+    let result = dispatch(args);
+    drop(root_span);
+    finish_tracing(&trace_flags, server)?;
+    result
 }
 
 fn dispatch(args: &Args) -> CmdResult {

@@ -175,6 +175,160 @@ fn zero_epoch_loss_renders_as_na_everywhere() {
 }
 
 #[test]
+fn trace_out_and_flame_out_write_valid_exports() {
+    let _serial = OBSERVER_LOCK.lock().unwrap();
+    let dir = tempdir("trace-out");
+    let d = dir.display();
+    run(&args(&format!("generate --profile toy --out {d}"))).unwrap();
+    run(&args(&format!(
+        "train --train {d}/train.tsv --model transe --dim 16 --epochs 5 --out {d}/m.kgfd"
+    )))
+    .unwrap();
+
+    let trace = dir.join("trace.json");
+    let flame = dir.join("flame.txt");
+    run(&args(&format!(
+        "discover --train {d}/train.tsv --model-file {d}/m.kgfd --strategy ur \
+         --top-n 10 --max-candidates 40 --threads 4 --trace-out {} --flame-out {}",
+        trace.display(),
+        flame.display()
+    )))
+    .unwrap();
+
+    // The Chrome trace must be valid JSON with complete-duration events
+    // whose parent references all resolve.
+    let json: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+    let events = json["traceEvents"].as_array().expect("traceEvents array");
+    assert!(!events.is_empty());
+    let ids: std::collections::HashSet<u64> = events
+        .iter()
+        .map(|e| e["args"]["id"].as_u64().expect("args.id"))
+        .collect();
+    for e in events {
+        assert_eq!(e["ph"], "X", "complete-duration events only");
+        assert!(e["dur"].as_u64().is_some() && e["ts"].as_u64().is_some());
+        if let Some(parent) = e["args"]["parent"].as_u64() {
+            assert!(ids.contains(&parent), "dangling parent {parent}");
+        }
+    }
+    let names: Vec<&str> = events.iter().filter_map(|e| e["name"].as_str()).collect();
+    assert!(names.contains(&"cli.command"), "{names:?}");
+    assert!(names.contains(&"discover.total"), "{names:?}");
+    assert!(names.contains(&"discover.relation"), "{names:?}");
+
+    // The flamegraph is collapsed-stack text: `root;child;... <self_us>`.
+    let flame_text = std::fs::read_to_string(&flame).unwrap();
+    assert!(!flame_text.trim().is_empty());
+    for line in flame_text.lines() {
+        let (stack, count) = line.rsplit_once(' ').expect("stack <count>");
+        assert!(!stack.is_empty());
+        count.parse::<u64>().expect("numeric self-time");
+    }
+    assert!(
+        flame_text
+            .lines()
+            .any(|l| l.starts_with("cli.command;discover.total;")),
+        "stacks should be rooted at cli.command: {flame_text}"
+    );
+
+    // In-process runs must leave the global collector disabled and empty.
+    assert!(!kgfd_obs::collector().is_enabled());
+    assert!(kgfd_obs::collector().is_empty());
+}
+
+#[test]
+fn serve_metrics_exposes_prometheus_text_during_train() {
+    use std::io::{BufRead, BufReader, Read, Write};
+
+    let dir = tempdir("serve");
+    let d = dir.display();
+    {
+        let _serial = OBSERVER_LOCK.lock().unwrap();
+        run(&args(&format!("generate --profile toy --out {d}"))).unwrap();
+    }
+    // Train long enough that the run is still in flight when we scrape it.
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_kgfd"))
+        .args([
+            "train",
+            "--train",
+            &format!("{d}/train.tsv"),
+            "--model",
+            "distmult",
+            "--dim",
+            "64",
+            "--epochs",
+            "4000",
+            "--out",
+            &format!("{d}/m.kgfd"),
+            "--serve-metrics",
+            "127.0.0.1:0",
+        ])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("kgfd binary runs");
+
+    // The CLI announces the bound (ephemeral) port on stderr.
+    let mut stderr = BufReader::new(child.stderr.take().unwrap());
+    let addr = loop {
+        let mut line = String::new();
+        if stderr.read_line(&mut line).unwrap() == 0 {
+            let _ = child.kill();
+            panic!("child exited before announcing the metrics endpoint");
+        }
+        if let Some(rest) = line.trim().strip_prefix("serving metrics on http://") {
+            break rest.to_string();
+        }
+    };
+
+    // Scrape /metrics until the per-epoch loss gauge appears (the first
+    // epochs may not have finished yet).
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    let body = loop {
+        let mut stream = std::net::TcpStream::connect(&addr).expect("endpoint is up");
+        stream
+            .write_all(format!("GET /metrics HTTP/1.1\r\nHost: {addr}\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let (head, body) = response.split_once("\r\n\r\n").expect("headers then body");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(head.contains("text/plain"), "{head}");
+        if body.contains("embed_train_epoch_loss") {
+            break body.to_string();
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "no embed_train_epoch_loss gauge after 30s; last body:\n{body}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    };
+    // Valid Prometheus exposition: TYPE comments and `name value` samples.
+    assert!(
+        body.contains("# TYPE embed_train_epoch_loss gauge"),
+        "{body}"
+    );
+    for line in body.lines().filter(|l| !l.starts_with('#')) {
+        let (name, value) = line.rsplit_once(' ').expect("name value");
+        assert!(!name.is_empty());
+        assert!(
+            value.parse::<f64>().is_ok() || ["NaN", "+Inf", "-Inf"].contains(&value),
+            "unparseable sample value in {line:?}"
+        );
+    }
+    let loss_sample = body
+        .lines()
+        .find(|l| l.starts_with("embed_train_epoch_loss "))
+        .expect("per-epoch loss gauge sample");
+    let loss: f64 = loss_sample.split(' ').nth(1).unwrap().parse().unwrap();
+    assert!(loss.is_finite());
+
+    let _ = child.kill();
+    let _ = child.wait();
+}
+
+#[test]
 fn quiet_run_produces_no_stderr() {
     let dir = tempdir("quiet");
     let d = dir.display();

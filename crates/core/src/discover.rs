@@ -125,6 +125,9 @@ pub fn discover_facts(
         relations
             .iter()
             .map(|&r| {
+                // Trace-only: groups this relation's generation/evaluation
+                // spans in trace exports without adding per-relation events.
+                let _rel_span = kgfd_obs::span_traced!("discover.relation", relation = r.0);
                 discover_relation(
                     model,
                     store,
@@ -142,6 +145,9 @@ pub fn discover_facts(
     } else {
         let chunk = relations.len().div_ceil(workers);
         let mut collected = Vec::with_capacity(relations.len());
+        // Worker threads have an empty span stack; hand the root span over
+        // explicitly so every per-relation span still nests under it.
+        let total_handle = total_span.handle();
         crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = relations
                 .chunks(chunk)
@@ -153,6 +159,11 @@ pub fn discover_facts(
                     scope.spawn(move |_| {
                         part.iter()
                             .map(|&r| {
+                                let _rel_span = kgfd_obs::Span::child_for_thread_with_fields(
+                                    total_handle,
+                                    "discover.relation",
+                                    vec![kgfd_obs::Field::new("relation", r.0)],
+                                );
                                 discover_relation(
                                     model,
                                     store,

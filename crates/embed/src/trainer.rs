@@ -332,6 +332,10 @@ pub fn train_into(
     let mut epoch_losses = Vec::with_capacity(config.epochs);
 
     for epoch in 0..config.epochs {
+        // Trace-only (no event, no histogram): the per-epoch metrics below
+        // already cover the event stream; this span exists to parent the
+        // batch/shard tree in trace exports.
+        let _epoch_span = kgfd_obs::span_traced!("embed.train.epoch", epoch = epoch);
         let epoch_start = Instant::now();
         triples.shuffle(&mut rng);
         let mut loss_sum = 0.0f64;
@@ -341,6 +345,7 @@ pub fn train_into(
         // (not the worker id) keys each shard's RNG stream.
         let mut next_stream = 0u64;
         for batch in triples.chunks(config.batch_size) {
+            let batch_span = kgfd_obs::span_traced!("embed.train.batch");
             let shards: Vec<&[Triple]> = batch.chunks(SHARD_SIZE).collect();
             while outputs.len() < shards.len() {
                 outputs.push(ShardOutput::new());
@@ -365,6 +370,8 @@ pub fn train_into(
                 for (i, (shard, out)) in shards.iter().zip(outs.iter_mut()).enumerate() {
                     let stream =
                         negative_stream(config.seed, epoch as u64, first_stream + i as u64);
+                    let shard_span = kgfd_obs::span_traced!("embed.train.shard", shard = i);
+                    let shard_start_us = kgfd_obs::clock_us();
                     process_shard(
                         model_view,
                         shard,
@@ -375,9 +382,19 @@ pub fn train_into(
                         config,
                         out,
                     );
+                    kgfd_obs::record_manual(
+                        "embed.train.negative_sampling",
+                        Some(shard_span.id()),
+                        shard_start_us,
+                        out.sampling.as_micros() as u64,
+                    );
                 }
             } else {
                 let sampler_ref = &sampler;
+                // Workers attach their shard spans under this batch's span
+                // explicitly — the thread-local stack does not cross the
+                // spawn boundary.
+                let batch_handle = batch_span.handle();
                 crossbeam::thread::scope(|scope| {
                     for (w, (shard_group, out_group)) in shards
                         .chunks(per_worker)
@@ -388,11 +405,18 @@ pub fn train_into(
                             for (i, (shard, out)) in
                                 shard_group.iter().zip(out_group.iter_mut()).enumerate()
                             {
+                                let shard_index = w * per_worker + i;
                                 let stream = negative_stream(
                                     config.seed,
                                     epoch as u64,
-                                    first_stream + (w * per_worker + i) as u64,
+                                    first_stream + shard_index as u64,
                                 );
+                                let shard_span = kgfd_obs::Span::child_for_thread_with_fields(
+                                    batch_handle,
+                                    "embed.train.shard",
+                                    vec![kgfd_obs::Field::new("shard", shard_index)],
+                                );
+                                let shard_start_us = kgfd_obs::clock_us();
                                 process_shard(
                                     model_view,
                                     shard,
@@ -402,6 +426,12 @@ pub fn train_into(
                                     sampler_ref,
                                     config,
                                     out,
+                                );
+                                kgfd_obs::record_manual(
+                                    "embed.train.negative_sampling",
+                                    Some(shard_span.id()),
+                                    shard_start_us,
+                                    out.sampling.as_micros() as u64,
                                 );
                             }
                         });
@@ -464,6 +494,10 @@ pub fn train_into(
             kgfd_obs::Field::new("threads", threads),
         ];
         kgfd_obs::metric("embed.train.epoch_loss", mean_loss, epoch_fields.clone());
+        // Mirror the loss into a registry gauge so the live `/metrics`
+        // endpoint exposes it between epochs (events only reach sinks).
+        kgfd_obs::gauge("embed.train.epoch_loss").set(mean_loss);
+        kgfd_obs::gauge("embed.train.epoch").set(epoch as f64);
         if wall > Duration::ZERO {
             kgfd_obs::metric(
                 "embed.train.examples_per_sec",

@@ -108,6 +108,9 @@ fn rank_groups(
     let kernel_us = kgfd_obs::histogram("eval.rank.batch_kernel_us");
     for tile in groups.chunks(WORKER_TILE) {
         let out = &mut scores[..tile.len() * n];
+        // Trace-only: one tree node per kernel tile (the histogram record
+        // below stays the only observable side effect when tracing is off).
+        let tile_span = kgfd_obs::span_traced!("eval.rank.batch_kernel");
         let kernel = std::time::Instant::now();
         if object_side {
             object_queries.clear();
@@ -125,6 +128,7 @@ fn rank_groups(
             model.score_subjects_batch(&subject_queries, out);
         }
         kernel_us.record(kernel.elapsed().as_secs_f64() * 1e6);
+        drop(tile_span);
         for (slot, group) in tile.iter().enumerate() {
             let row = &out[slot * n..(slot + 1) * n];
             let exclude = known.map_or(&[][..], |k| {
@@ -216,10 +220,19 @@ impl<'a> BatchRanker<'a> {
             return;
         }
         let chunk = groups.len().div_ceil(self.threads);
+        // Query-group workers inherit the dispatching thread's innermost
+        // span (e.g. `discover.evaluation`) so their kernel-tile spans stay
+        // attached to the tree.
+        let parent = kgfd_obs::current_span_handle();
         crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = groups
                 .chunks(chunk)
-                .map(|part| scope.spawn(move |_| rank_groups(self.model, part, known, object_side)))
+                .map(|part| {
+                    scope.spawn(move |_| {
+                        let _attach = parent.map(|p| p.enter());
+                        rank_groups(self.model, part, known, object_side)
+                    })
+                })
                 .collect();
             for h in handles {
                 for (triple_idx, rank) in h.join().expect("batch ranking worker panicked") {

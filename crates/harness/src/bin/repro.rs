@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! repro [TARGET] [SCALE] [--quiet | --progress] [--metrics-dir DIR]
-//!       [--threads N]
+//!       [--threads N] [--trace-out FILE] [--flame-out FILE]
+//!       [--serve-metrics ADDR]
 //!   TARGET: all | table1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 | fig8
 //!           | fig9 | fig10 | squares | longtail | grid | sweep | experiments
 //!           (default: all; `experiments` emits EXPERIMENTS.md content)
@@ -13,6 +14,10 @@
 //!   --threads       worker count for ranking and zoo training (results are
 //!                   thread-count independent; defaults to KGFD_THREADS or
 //!                   the CPU count, capped at 8)
+//!   --trace-out     write the hierarchical span tree as Chrome trace JSON
+//!   --flame-out     write the span tree as collapsed-stack flamegraph text
+//!   --serve-metrics serve live /metrics, /healthz, /trace on ADDR while
+//!                   the run is in flight
 //! ```
 //!
 //! Text reports go to stdout; JSON series to `target/kgfd-results/`.
@@ -26,6 +31,9 @@ fn main() {
     let mut progress = false;
     let mut metrics_dir: Option<std::path::PathBuf> = None;
     let mut threads: Option<usize> = None;
+    let mut trace_out: Option<String> = None;
+    let mut flame_out: Option<String> = None;
+    let mut serve_metrics: Option<String> = None;
     let mut raw = std::env::args().skip(1);
     while let Some(arg) = raw.next() {
         match arg.as_str() {
@@ -35,6 +43,27 @@ fn main() {
                 Some(dir) => metrics_dir = Some(dir.into()),
                 None => {
                     eprintln!("--metrics-dir needs a directory argument");
+                    std::process::exit(2);
+                }
+            },
+            "--trace-out" => match raw.next() {
+                Some(path) => trace_out = Some(path),
+                None => {
+                    eprintln!("--trace-out needs a file argument");
+                    std::process::exit(2);
+                }
+            },
+            "--flame-out" => match raw.next() {
+                Some(path) => flame_out = Some(path),
+                None => {
+                    eprintln!("--flame-out needs a file argument");
+                    std::process::exit(2);
+                }
+            },
+            "--serve-metrics" => match raw.next() {
+                Some(addr) => serve_metrics = Some(addr),
+                None => {
+                    eprintln!("--serve-metrics needs an address argument");
                     std::process::exit(2);
                 }
             },
@@ -55,6 +84,26 @@ fn main() {
     } else {
         Arc::new(kgfd_obs::StderrProgress::warnings_only())
     });
+
+    if trace_out.is_some() || flame_out.is_some() || serve_metrics.is_some() {
+        kgfd_obs::enable_tracing();
+    }
+    let server = serve_metrics.map(|addr| {
+        kgfd_obs::set_phase("repro:start");
+        match kgfd_obs::MetricsServer::start(&addr) {
+            Ok(server) => {
+                if !quiet {
+                    eprintln!("serving metrics on http://{}", server.local_addr());
+                }
+                server
+            }
+            Err(e) => {
+                eprintln!("cannot serve metrics on {addr}: {e}");
+                std::process::exit(2);
+            }
+        }
+    });
+    let root_span = kgfd_obs::Span::start_traced("repro.run");
 
     let target = positional.first().map(String::as_str).unwrap_or("all");
     let scale = match positional.get(1).map(String::as_str) {
@@ -149,5 +198,25 @@ fn main() {
     for s in sections {
         println!("{s}");
         println!("{}", "=".repeat(80));
+    }
+
+    drop(root_span);
+    if let Some(server) = server {
+        server.shutdown();
+    }
+    if trace_out.is_some() || flame_out.is_some() {
+        let tree = kgfd_obs::TraceTree::build(kgfd_obs::collector().drain());
+        if let Some(path) = &trace_out {
+            if let Err(e) = std::fs::write(path, kgfd_obs::chrome_trace(&tree)) {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+        if let Some(path) = &flame_out {
+            if let Err(e) = std::fs::write(path, kgfd_obs::flamegraph_collapsed(&tree)) {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }

@@ -134,6 +134,18 @@ pub fn run_grid(scale: Scale, options: &GridOptions) -> GridResults {
                         strategy.abbrev()
                     ),
                 );
+                kgfd_obs::set_phase(format!(
+                    "grid:{}/{}/{}",
+                    dataset.name(),
+                    model_kind.name(),
+                    strategy.abbrev()
+                ));
+                let cell_span = kgfd_obs::span_traced!(
+                    "harness.grid.cell",
+                    dataset = dataset.name(),
+                    model = model_kind.name(),
+                    strategy = strategy.abbrev()
+                );
                 let config = DiscoveryConfig {
                     strategy,
                     top_n: options.top_n,
@@ -143,6 +155,7 @@ pub fn run_grid(scale: Scale, options: &GridOptions) -> GridResults {
                     ..DiscoveryConfig::default()
                 };
                 let report = discover_facts(model.as_ref(), &data.train, &config);
+                drop(cell_span);
                 kgfd_obs::progress(format!(
                     "[grid {}] {dataset} × {model_kind} × {strategy}: {} facts, {:.1}s",
                     scale.name(),

@@ -129,6 +129,16 @@ pub fn run_sweep(scale: Scale, options: &SweepOptions) -> SweepResults {
                     options.metrics_dir.as_deref(),
                     &format!("sweep-{}-mc{max_candidates}-top{top_n}", strategy.abbrev()),
                 );
+                kgfd_obs::set_phase(format!(
+                    "sweep:{}/mc{max_candidates}/top{top_n}",
+                    strategy.abbrev()
+                ));
+                let cell_span = kgfd_obs::span_traced!(
+                    "harness.sweep.cell",
+                    strategy = strategy.abbrev(),
+                    max_candidates = max_candidates,
+                    top_n = top_n
+                );
                 let config = DiscoveryConfig {
                     strategy,
                     top_n,
@@ -138,6 +148,7 @@ pub fn run_sweep(scale: Scale, options: &SweepOptions) -> SweepResults {
                     ..DiscoveryConfig::default()
                 };
                 let report = discover_facts(model.as_ref(), &data.train, &config);
+                drop(cell_span);
                 let mut manifest = kgfd_obs::RunManifest::new("sweep-cell");
                 manifest.strategy = strategy.to_string();
                 manifest.model = ModelKind::TransE.to_string();

@@ -28,6 +28,10 @@ pub enum Payload {
         name: String,
         /// Wall-clock duration of the span.
         duration_us: u64,
+        /// Process-unique id of the span (see [`crate::SpanId`]).
+        span_id: u64,
+        /// Id of the enclosing span, `null` for roots.
+        parent_id: Option<u64>,
         /// Structured context (e.g. `relation = 3`).
         fields: Vec<Field>,
     },

@@ -16,6 +16,15 @@
 //! * a **[`RunManifest`]** emitted at the end of every run recording the
 //!   command, configuration, seed, dataset shape, and wall-clock totals.
 //!
+//! v2 adds **hierarchical tracing**: spans carry [`SpanId`]s and parent
+//! links through a thread-local span stack (cross-thread handoff via
+//! [`Span::child_for_thread`] / [`SpanHandle::enter`]), finished spans land
+//! in a lock-free process [`TraceCollector`] (opt-in via
+//! [`enable_tracing`]), the tree exports as Chrome trace-event JSON and
+//! collapsed-stack flamegraph text ([`export`]), and a dependency-free
+//! [`MetricsServer`] serves live `/metrics` (Prometheus), `/healthz`, and
+//! `/trace` endpoints.
+//!
 //! Metric and span names follow `<crate>.<phase>.<name>`, e.g.
 //! `embed.train.epoch_loss` or `discover.generation.duration_us`.
 //!
@@ -30,12 +39,18 @@
 #![warn(missing_docs)]
 
 mod event;
+pub mod export;
 mod manifest;
 mod metrics;
 mod observer;
+mod serve;
 mod span;
+mod trace;
 
 pub use event::{Event, Field, FieldValue, Level, Payload};
+pub use export::{
+    chrome_trace, flamegraph_collapsed, top_spans_json, TraceNode, TraceSummary, TraceTree,
+};
 pub use manifest::{DatasetShape, RunManifest};
 pub use metrics::{
     counter, gauge, histogram, registry, Counter, Gauge, Histogram, HistogramSummary,
@@ -46,4 +61,10 @@ pub use observer::{
     run_id, scoped, set_observer, warn, Fanout, JsonlSink, NullObserver, Observer, ScopedObserver,
     StderrProgress,
 };
+pub use serve::{current_phase, prometheus_text, set_phase, MetricsServer};
 pub use span::Span;
+pub use trace::{
+    collector, current_span, current_span_handle, disable as disable_tracing,
+    enable as enable_tracing, record_manual, thread_id, EnteredSpan, SpanHandle, SpanId,
+    SpanRecord, TraceCollector,
+};

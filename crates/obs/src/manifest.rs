@@ -37,6 +37,11 @@ pub struct RunManifest {
     /// entry evicted and retrained). Populated at [`RunManifest::emit`]
     /// time from the process-wide recovery log ([`crate::record_recovery`]).
     pub recoveries: Vec<String>,
+    /// Shape and hot spots of the span tree when trace collection was
+    /// enabled for the run; `null` otherwise. Populated at
+    /// [`RunManifest::emit`] time from the process collector (without
+    /// draining it — exports still see the full tree).
+    pub trace: Option<crate::export::TraceSummary>,
 }
 
 impl RunManifest {
@@ -60,12 +65,20 @@ impl RunManifest {
     }
 
     /// Emits this manifest as the run's closing event, attaching any
-    /// recovery actions recorded since the last emitted manifest.
+    /// recovery actions recorded since the last emitted manifest and — when
+    /// trace collection is enabled — a summary of the span tree so far.
     pub fn emit(&self) {
         let mut manifest = self.clone();
         manifest
             .recoveries
             .extend(crate::observer::drain_recoveries());
+        if manifest.trace.is_none() {
+            let collector = crate::trace::collector();
+            if collector.is_enabled() && !collector.is_empty() {
+                let tree = crate::export::TraceTree::build(collector.snapshot());
+                manifest.trace = Some(tree.summary());
+            }
+        }
         crate::observer::emit(Payload::Manifest(manifest));
     }
 }

@@ -138,18 +138,49 @@ impl Histogram {
         Some(Self::bucket_value(BUCKETS - 1))
     }
 
-    /// Serializable summary of this histogram.
+    /// Serializable summary of this histogram. An empty histogram reports
+    /// `null` for mean and quantiles (matching the zero-epoch NaN-loss
+    /// convention) rather than a misleading `0.0`.
     pub fn summary(&self) -> HistogramSummary {
         let count = self.count();
         let sum = self.sum();
         HistogramSummary {
             count,
             sum,
-            mean: if count == 0 { 0.0 } else { sum / count as f64 },
-            p50: self.quantile(0.50).unwrap_or(0.0),
-            p95: self.quantile(0.95).unwrap_or(0.0),
-            p99: self.quantile(0.99).unwrap_or(0.0),
+            mean: if count == 0 {
+                None
+            } else {
+                Some(sum / count as f64)
+            },
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
         }
+    }
+
+    /// Cumulative bucket counts at the upper edge of every *occupied*
+    /// bucket, in ascending order — the Prometheus `_bucket{le=".."}`
+    /// series. Empty buckets are skipped (the cumulative value at any
+    /// omitted edge is recoverable from the previous entry), keeping the
+    /// exposition proportional to the data rather than the 1024-slot
+    /// backing array.
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let mut out = Vec::new();
+        let mut cumulative = 0u64;
+        for (idx, bucket) in self.counts.iter().enumerate() {
+            let n = bucket.load(Ordering::Relaxed);
+            if n > 0 {
+                cumulative += n;
+                out.push((Self::bucket_upper(idx), cumulative));
+            }
+        }
+        out
+    }
+
+    /// Upper edge of bucket `idx`.
+    fn bucket_upper(idx: usize) -> f64 {
+        let exponent = MIN_OCTAVE as f64 + (idx as f64 + 1.0) / SUBDIV as f64;
+        exponent.exp2()
     }
 }
 
@@ -160,14 +191,14 @@ pub struct HistogramSummary {
     pub count: u64,
     /// Sum of observations.
     pub sum: f64,
-    /// Arithmetic mean.
-    pub mean: f64,
-    /// Median (log-bucket resolution).
-    pub p50: f64,
-    /// 95th percentile.
-    pub p95: f64,
-    /// 99th percentile.
-    pub p99: f64,
+    /// Arithmetic mean; `null` when no observations were recorded.
+    pub mean: Option<f64>,
+    /// Median (log-bucket resolution); `null` when empty.
+    pub p50: Option<f64>,
+    /// 95th percentile; `null` when empty.
+    pub p95: Option<f64>,
+    /// 99th percentile; `null` when empty.
+    pub p99: Option<f64>,
 }
 
 /// The process-wide metrics registry.
@@ -308,5 +339,66 @@ mod tests {
         h.record(1e300);
         assert_eq!(h.count(), 4);
         assert!(h.quantile(0.0).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn empty_histogram_summary_reports_null_not_zero() {
+        let h = Histogram::default();
+        let s = h.summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, None);
+        assert_eq!(s.p50, None);
+        assert_eq!(s.p95, None);
+        assert_eq!(s.p99, None);
+        // And the nulls survive serialization — no spurious 0.0 in sinks.
+        let json = serde_json::to_string(&s).expect("serializes");
+        assert!(json.contains("\"p50\":null"), "got {json}");
+        assert!(!json.contains("\"p50\":0"), "got {json}");
+    }
+
+    #[test]
+    fn snapshot_is_sorted_by_name_regardless_of_insertion_order() {
+        let r = Registry::default();
+        for name in ["zeta", "alpha", "mid", "beta"] {
+            r.counter(name).inc();
+            r.gauge(name).set(1.0);
+            r.histogram(name).record(1.0);
+        }
+        let snap = r.snapshot();
+        let counter_names: Vec<&String> = snap.counters.keys().collect();
+        let mut sorted = counter_names.clone();
+        sorted.sort();
+        assert_eq!(counter_names, sorted);
+        let gauge_names: Vec<&String> = snap.gauges.keys().collect();
+        let mut sorted = gauge_names.clone();
+        sorted.sort();
+        assert_eq!(gauge_names, sorted);
+        let histogram_names: Vec<&String> = snap.histograms.keys().collect();
+        let mut sorted = histogram_names.clone();
+        sorted.sort();
+        assert_eq!(histogram_names, sorted);
+        // Byte-determinism: two snapshots of the same state serialize
+        // identically.
+        let a = serde_json::to_string(&snap).expect("serializes");
+        let b = serde_json::to_string(&r.snapshot()).expect("serializes");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cumulative_buckets_are_ascending_and_end_at_count() {
+        let h = Histogram::default();
+        for v in [1.0, 1.0, 10.0, 100.0, 1000.0] {
+            h.record(v);
+        }
+        let buckets = h.cumulative_buckets();
+        assert!(!buckets.is_empty());
+        for pair in buckets.windows(2) {
+            assert!(pair[0].0 < pair[1].0, "le edges ascend");
+            assert!(pair[0].1 < pair[1].1, "cumulative counts ascend");
+        }
+        assert_eq!(buckets.last().unwrap().1, h.count());
+        // The first edge must sit at or above the smallest observation's
+        // bucket: 1.0 lands in a bucket whose upper edge exceeds 1.0.
+        assert!(buckets[0].0 > 1.0);
     }
 }

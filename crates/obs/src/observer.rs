@@ -93,6 +93,7 @@ impl Observer for StderrProgress {
                 name,
                 duration_us,
                 fields,
+                ..
             } if self.min_level <= Level::Progress && self.admit() => {
                 eprintln!(
                     "[{:>10.3}s] {name} {} ({:.3}s)",
@@ -138,16 +139,37 @@ fn render_fields(fields: &[crate::Field]) -> String {
 ///
 /// Every line is flushed immediately so the file is complete even if the
 /// process exits without dropping the sink.
+///
+/// A failing write (disk full, file descriptor yanked) never panics the
+/// run: the first failure lands one entry in the process recovery log
+/// ([`record_recovery`]) — so the condition surfaces in the next run
+/// manifest — and subsequent failures are dropped silently rather than
+/// flooding the log once per event.
 pub struct JsonlSink {
     out: Mutex<BufWriter<File>>,
+    path: String,
+    failed: std::sync::atomic::AtomicBool,
 }
 
 impl JsonlSink {
     /// Creates (truncating) the sink file.
     pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref();
         Ok(JsonlSink {
             out: Mutex::new(BufWriter::new(File::create(path)?)),
+            path: path.display().to_string(),
+            failed: std::sync::atomic::AtomicBool::new(false),
         })
+    }
+
+    fn note_failure(&self, err: &std::io::Error) {
+        use std::sync::atomic::Ordering;
+        if !self.failed.swap(true, Ordering::Relaxed) {
+            record_recovery(format!(
+                "jsonl sink '{}' write failed ({err}); further events to this sink may be lost",
+                self.path
+            ));
+        }
     }
 }
 
@@ -155,13 +177,16 @@ impl Observer for JsonlSink {
     fn event(&self, event: &Event) {
         if let Ok(line) = serde_json::to_string(event) {
             let mut out = self.out.lock();
-            let _ = writeln!(out, "{line}");
-            let _ = out.flush();
+            if let Err(err) = writeln!(out, "{line}").and_then(|()| out.flush()) {
+                self.note_failure(&err);
+            }
         }
     }
 
     fn flush(&self) {
-        let _ = self.out.lock().flush();
+        if let Err(err) = self.out.lock().flush() {
+            self.note_failure(&err);
+        }
     }
 }
 

@@ -1,0 +1,304 @@
+//! A dependency-free live metrics endpoint.
+//!
+//! [`MetricsServer::start`] binds a `std::net::TcpListener` and serves
+//! three read-only routes over HTTP/1.1 until [`MetricsServer::shutdown`]
+//! (or drop):
+//!
+//! * `GET /metrics` — the registry in Prometheus text exposition format:
+//!   counters and gauges as single samples, histograms as cumulative
+//!   `_bucket{le="..."}` series plus `_sum` / `_count`. Metric names have
+//!   `.` and other non-identifier characters mapped to `_`
+//!   (`embed.train.epoch_loss` → `embed_train_epoch_loss`).
+//! * `GET /healthz` — a small JSON document with the run id, uptime in
+//!   seconds, and the current pipeline phase (see [`set_phase`]).
+//! * `GET /trace` — the top spans by self time from the live trace
+//!   collector, as JSON (see [`crate::export::top_spans_json`]).
+//!
+//! The server is deliberately minimal: one request per connection,
+//! `Connection: close`, no keep-alive, no TLS. It exists so `curl` and a
+//! Prometheus scraper can watch a long `train`/`grid` run — not to be a
+//! general web server.
+//!
+//! **Shutdown.** `shutdown()` flips a stop flag and then connects to the
+//! listener itself to unblock the accept loop, joining the thread before
+//! returning — so a run never exits with the port still held.
+
+use crate::metrics::registry;
+use parking_lot::Mutex;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+static PHASE: Mutex<Option<String>> = Mutex::new(None);
+
+/// Declares the pipeline phase reported by `GET /healthz` (e.g.
+/// `"train"`, `"discover"`, `"grid:cell lcwa_uniform/transe"`).
+pub fn set_phase(phase: impl Into<String>) {
+    *PHASE.lock() = Some(phase.into());
+}
+
+/// The phase last declared with [`set_phase`], if any.
+pub fn current_phase() -> Option<String> {
+    PHASE.lock().clone()
+}
+
+/// A running metrics endpoint. Shut down explicitly with
+/// [`MetricsServer::shutdown`]; dropping it does the same.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9464`, or port `0` for an ephemeral
+    /// port) and starts serving on a background thread.
+    pub fn start(addr: &str) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("kgfd-metrics".into())
+            .spawn(move || accept_loop(listener, stop_flag))?;
+        Ok(MetricsServer {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the server thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        let Some(handle) = self.handle.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept() call; an error just means the listener is
+        // already gone, which is equally fine.
+        let _ = TcpStream::connect(self.addr);
+        let _ = handle.join();
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(listener: TcpListener, stop: Arc<AtomicBool>) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        // A slow or stuck client must not wedge the endpoint.
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+        handle_connection(stream);
+    }
+}
+
+fn handle_connection(mut stream: TcpStream) {
+    // Read until the blank line ending the request headers (clients may
+    // deliver the request in several segments), bounded to keep a
+    // misbehaving peer from holding the loop.
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    while !buf.windows(4).any(|w| w == b"\r\n\r\n") && buf.len() < 8192 {
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+        }
+    }
+    let request = String::from_utf8_lossy(&buf);
+    let path = request
+        .lines()
+        .next()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .unwrap_or("/");
+    let (status, content_type, body) = match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            prometheus_text(),
+        ),
+        "/healthz" => ("200 OK", "application/json", healthz_json()),
+        "/trace" => ("200 OK", "application/json", trace_json()),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found: routes are /metrics, /healthz, /trace\n".to_string(),
+        ),
+    };
+    let _ = write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.flush();
+}
+
+/// Maps a metric name onto the Prometheus identifier charset
+/// (`[a-zA-Z0-9_:]`); everything else — notably the `.` separators of the
+/// `<crate>.<phase>.<name>` convention — becomes `_`.
+fn prometheus_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+fn format_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders the whole registry as Prometheus text exposition format. Output
+/// order is deterministic: counters, then gauges, then histograms, each
+/// sorted by name (the registry snapshot is BTreeMap-backed).
+pub fn prometheus_text() -> String {
+    let reg = registry();
+    let snap = reg.snapshot();
+    let mut out = String::new();
+    for (name, value) in &snap.counters {
+        let n = prometheus_name(name);
+        out.push_str(&format!("# TYPE {n} counter\n{n} {value}\n"));
+    }
+    for (name, value) in &snap.gauges {
+        let n = prometheus_name(name);
+        out.push_str(&format!("# TYPE {n} gauge\n{n} {}\n", format_value(*value)));
+    }
+    for name in snap.histograms.keys() {
+        let n = prometheus_name(name);
+        out.push_str(&format!("# TYPE {n} histogram\n"));
+        // Buckets come from the live histogram (the snapshot carries only
+        // the quantile summary). The histogram may have gained samples
+        // since the snapshot; `_count`/`_sum` are re-read alongside the
+        // buckets so the series stays self-consistent.
+        let h = reg.histogram(name);
+        for (le, cumulative) in h.cumulative_buckets() {
+            out.push_str(&format!(
+                "{n}_bucket{{le=\"{}\"}} {cumulative}\n",
+                format_value(le)
+            ));
+        }
+        out.push_str(&format!("{n}_bucket{{le=\"+Inf\"}} {}\n", h.count()));
+        out.push_str(&format!("{n}_sum {}\n", format_value(h.sum())));
+        out.push_str(&format!("{n}_count {}\n", h.count()));
+    }
+    out
+}
+
+fn healthz_json() -> String {
+    let phase = match current_phase() {
+        Some(p) => format!("\"{}\"", p.replace('\\', "\\\\").replace('"', "\\\"")),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"status\":\"ok\",\"run\":\"{}\",\"uptime_s\":{:.3},\"phase\":{phase}}}\n",
+        crate::observer::run_id(),
+        crate::observer::clock_us() as f64 / 1e6,
+    )
+}
+
+fn trace_json() -> String {
+    let tree = crate::export::TraceTree::build(crate::trace::collector().snapshot());
+    crate::export::top_spans_json(&tree, 20)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let request = format!("GET {path} HTTP/1.1\r\nHost: test\r\n\r\n");
+        stream.write_all(request.as_bytes()).expect("write");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        response
+    }
+
+    #[test]
+    fn serves_metrics_healthz_trace_and_404() {
+        registry().counter("serve.test.requests").add(3);
+        registry().gauge("serve.test.loss").set(0.25);
+        let h = registry().histogram("serve.test.latency_us");
+        h.record(10.0);
+        h.record(1000.0);
+        set_phase("unit-test");
+
+        let server = MetricsServer::start("127.0.0.1:0").expect("bind");
+        let addr = server.local_addr();
+
+        let metrics = get(addr, "/metrics");
+        assert!(metrics.starts_with("HTTP/1.1 200 OK"), "got {metrics}");
+        assert!(metrics.contains("# TYPE serve_test_requests counter"));
+        assert!(metrics.contains("serve_test_requests 3"));
+        assert!(metrics.contains("serve_test_loss 0.25"));
+        assert!(metrics.contains("serve_test_latency_us_bucket{le=\"+Inf\"} 2"));
+        assert!(metrics.contains("serve_test_latency_us_count 2"));
+
+        let health = get(addr, "/healthz");
+        assert!(health.contains("\"status\":\"ok\""));
+        assert!(health.contains("\"phase\":\"unit-test\""));
+        let body = health.split("\r\n\r\n").nth(1).expect("body");
+        let parsed: serde_json::Value = serde_json::from_str(body).expect("healthz is JSON");
+        assert!(parsed["uptime_s"].as_f64().is_some());
+
+        let trace = get(addr, "/trace");
+        let body = trace.split("\r\n\r\n").nth(1).expect("body");
+        let parsed: serde_json::Value = serde_json::from_str(body).expect("trace is JSON");
+        assert!(parsed["spans"].as_u64().is_some());
+
+        let missing = get(addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"), "got {missing}");
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_releases_the_port() {
+        let server = MetricsServer::start("127.0.0.1:0").expect("bind");
+        let addr = server.local_addr();
+        server.shutdown();
+        // The accept thread has been joined; rebinding the same port must
+        // succeed immediately.
+        let rebound = TcpListener::bind(addr).expect("port released");
+        drop(rebound);
+    }
+
+    #[test]
+    fn prometheus_text_is_deterministic() {
+        registry().counter("serve.det.a").inc();
+        registry().counter("serve.det.b").inc();
+        let first = prometheus_text();
+        let second = prometheus_text();
+        assert_eq!(first, second);
+    }
+}

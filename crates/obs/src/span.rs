@@ -1,13 +1,25 @@
-//! Scoped span timers.
+//! Scoped span timers, now hierarchical.
 //!
 //! A [`Span`] measures the wall-clock time between its creation and its
-//! `finish` (or drop). Finishing records the duration into the histogram
-//! `<name>.duration_us` and emits a [`Payload::SpanEnd`] event, so one
-//! instrumentation point feeds both the quantile registry and the JSONL
-//! sink.
+//! `finish` (or drop). Every span carries a process-unique [`SpanId`] and
+//! the id of its parent — the innermost span live on the creating thread
+//! (see [`crate::trace`]) — so finished spans form a tree. Finishing
+//! records the duration into the histogram `<name>.duration_us`, emits a
+//! [`Payload::SpanEnd`] event, and (when trace collection is enabled)
+//! pushes a [`crate::SpanRecord`] into the process collector.
+//!
+//! Hot inner loops use **trace-only** spans ([`span_traced!`] /
+//! [`Span::start_traced`]): they still time the scope and feed the trace
+//! tree, but skip the histogram and the event stream, so a per-batch or
+//! per-shard span cannot flood a JSONL sink.
+//!
+//! Cross-thread parenting: capture [`Span::handle`] before dispatching,
+//! then on the worker either `handle.enter()` (everything the worker opens
+//! nests under it) or [`Span::child_for_thread`] (one explicit child).
 
 use crate::event::{Field, Payload};
 use crate::histogram;
+use crate::trace::{self, SpanHandle, SpanId};
 use std::time::{Duration, Instant};
 
 /// An in-progress timed section. Ends on [`Span::finish`] or drop.
@@ -16,23 +28,91 @@ pub struct Span {
     name: &'static str,
     fields: Vec<Field>,
     start: Instant,
+    start_us: u64,
+    id: SpanId,
+    parent: Option<SpanId>,
     finished: bool,
+    /// When false, finishing skips the histogram and the SpanEnd event
+    /// (trace-only spans for hot paths).
+    emit: bool,
 }
 
 impl Span {
     /// Starts a span with no context fields.
     pub fn start(name: &'static str) -> Self {
-        Span::with_fields(name, Vec::new())
+        Span::new(name, Vec::new(), None, true)
     }
 
     /// Starts a span carrying context fields.
     pub fn with_fields(name: &'static str, fields: Vec<Field>) -> Self {
+        Span::new(name, fields, None, true)
+    }
+
+    /// Starts a **trace-only** span: timed and recorded in the trace tree,
+    /// but neither histogrammed nor emitted as an event. For per-batch /
+    /// per-shard / per-kernel scopes that would otherwise flood sinks.
+    pub fn start_traced(name: &'static str) -> Self {
+        Span::new(name, Vec::new(), None, false)
+    }
+
+    /// [`Span::start_traced`] with context fields.
+    pub fn with_fields_traced(name: &'static str, fields: Vec<Field>) -> Self {
+        Span::new(name, fields, None, false)
+    }
+
+    /// Starts a trace-only span on the *current* thread as an explicit
+    /// child of `parent` — the cross-thread handoff for workers that
+    /// process one unit of work for a span owned by the dispatching
+    /// thread. Nested spans the worker opens while this one is live attach
+    /// under it through the ordinary thread-local stack.
+    pub fn child_for_thread(parent: SpanHandle, name: &'static str) -> Self {
+        Span::new(name, Vec::new(), Some(parent.id()), false)
+    }
+
+    /// [`Span::child_for_thread`] with context fields.
+    pub fn child_for_thread_with_fields(
+        parent: SpanHandle,
+        name: &'static str,
+        fields: Vec<Field>,
+    ) -> Self {
+        Span::new(name, fields, Some(parent.id()), false)
+    }
+
+    fn new(
+        name: &'static str,
+        fields: Vec<Field>,
+        explicit_parent: Option<SpanId>,
+        emit: bool,
+    ) -> Self {
+        let id = trace::next_span_id();
+        let parent = explicit_parent.or_else(trace::current_span);
+        trace::push_current(id);
         Span {
             name,
             fields,
             start: Instant::now(),
+            start_us: crate::observer::clock_us(),
+            id,
+            parent,
             finished: false,
+            emit,
         }
+    }
+
+    /// This span's process-unique id.
+    pub fn id(&self) -> SpanId {
+        self.id
+    }
+
+    /// Id of the span this one nests under, if any.
+    pub fn parent(&self) -> Option<SpanId> {
+        self.parent
+    }
+
+    /// A `Copy + Send` handle for parenting work dispatched to other
+    /// threads (see [`SpanHandle::enter`] and [`Span::child_for_thread`]).
+    pub fn handle(&self) -> SpanHandle {
+        SpanHandle { id: self.id }
     }
 
     /// Time elapsed so far without ending the span.
@@ -47,14 +127,31 @@ impl Span {
 
     fn end(&mut self) -> Duration {
         self.finished = true;
+        trace::pop_current(self.id);
         let duration = self.start.elapsed();
         let us = duration.as_micros() as u64;
-        histogram(&format!("{}.duration_us", self.name)).record(us as f64);
-        crate::observer::emit(Payload::SpanEnd {
-            name: self.name.to_string(),
-            duration_us: us,
-            fields: std::mem::take(&mut self.fields),
-        });
+        let collector = trace::collector();
+        if collector.is_enabled() {
+            collector.record(crate::trace::SpanRecord {
+                id: self.id.0,
+                parent: self.parent.map(|p| p.0),
+                name: self.name.to_string(),
+                fields: self.fields.clone(),
+                start_us: self.start_us,
+                duration_us: us,
+                thread: trace::thread_id(),
+            });
+        }
+        if self.emit {
+            histogram(&format!("{}.duration_us", self.name)).record(us as f64);
+            crate::observer::emit(Payload::SpanEnd {
+                name: self.name.to_string(),
+                duration_us: us,
+                span_id: self.id.0,
+                parent_id: self.parent.map(|p| p.0),
+                fields: std::mem::take(&mut self.fields),
+            });
+        }
         duration
     }
 }
@@ -76,6 +173,22 @@ macro_rules! span {
     };
     ($name:expr, $($key:ident = $value:expr),+ $(,)?) => {
         $crate::Span::with_fields(
+            $name,
+            ::std::vec![$($crate::Field::new(::core::stringify!($key), $value)),+],
+        )
+    };
+}
+
+/// Starts a trace-only [`Span`] (no histogram, no event — see
+/// [`Span::start_traced`]): `span_traced!("embed.train.batch")` or
+/// `span_traced!("embed.train.shard", shard = i)`.
+#[macro_export]
+macro_rules! span_traced {
+    ($name:expr) => {
+        $crate::Span::start_traced($name)
+    };
+    ($name:expr, $($key:ident = $value:expr),+ $(,)?) => {
+        $crate::Span::with_fields_traced(
             $name,
             ::std::vec![$($crate::Field::new(::core::stringify!($key), $value)),+],
         )

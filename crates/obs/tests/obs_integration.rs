@@ -83,6 +83,7 @@ fn jsonl_sink_lines_round_trip_through_the_event_schema() {
             config: vec![Field::new("top_n", 10u64)],
             wall_clock_s: 1.5,
             recoveries: Vec::new(),
+            trace: None,
         }
         .emit();
     }
@@ -143,6 +144,93 @@ fn jsonl_sink_lines_round_trip_through_the_event_schema() {
         other => panic!("expected Manifest, got {other:?}"),
     }
 
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn failing_sink_writes_do_not_panic_and_surface_a_recovery() {
+    // /dev/full accepts the open but fails every write with ENOSPC —
+    // exactly the disk-full scenario the sink must survive.
+    if !std::path::Path::new("/dev/full").exists() {
+        eprintln!("skipping: /dev/full not available on this platform");
+        return;
+    }
+    let _serial = OBSERVER_LOCK.lock();
+    // Clear any recoveries left over from other tests in this process.
+    let _ = kgfd_obs::drain_recoveries();
+    {
+        let sink = JsonlSink::create("/dev/full").expect("open /dev/full");
+        let _guard = scoped(Arc::new(sink));
+        // Each event triggers a flush → ENOSPC. None of these may panic.
+        for i in 0..5 {
+            kgfd_obs::metric("test.sink.fail", i as f64, vec![]);
+        }
+    }
+    let recoveries = kgfd_obs::drain_recoveries();
+    assert_eq!(
+        recoveries.len(),
+        1,
+        "exactly one recovery per failing sink, not one per event: {recoveries:?}"
+    );
+    assert!(
+        recoveries[0].contains("write failed"),
+        "recovery names the failure: {recoveries:?}"
+    );
+}
+
+#[test]
+fn fanout_keeps_delivering_past_a_failing_sink() {
+    if !std::path::Path::new("/dev/full").exists() {
+        eprintln!("skipping: /dev/full not available on this platform");
+        return;
+    }
+    let _serial = OBSERVER_LOCK.lock();
+    let _ = kgfd_obs::drain_recoveries();
+    let dir = std::env::temp_dir().join(format!("kgfd-obs-fanout-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let good_path = dir.join("good.jsonl");
+    {
+        let broken = Arc::new(JsonlSink::create("/dev/full").unwrap());
+        let good = Arc::new(JsonlSink::create(&good_path).unwrap());
+        let _guard = scoped(Arc::new(kgfd_obs::Fanout::new(vec![broken, good])));
+        kgfd_obs::warn("must reach the good sink");
+        kgfd_obs::metric("test.fanout.value", 1.0, vec![]);
+    }
+    let text = std::fs::read_to_string(&good_path).unwrap();
+    assert_eq!(
+        text.lines().count(),
+        2,
+        "the healthy sink got every event despite its sibling failing"
+    );
+    assert!(!kgfd_obs::drain_recoveries().is_empty());
+    std::fs::remove_file(&good_path).ok();
+}
+
+#[test]
+fn dropping_a_sink_leaves_no_truncated_final_line() {
+    let _serial = OBSERVER_LOCK.lock();
+    let dir = std::env::temp_dir().join(format!("kgfd-obs-dropflush-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("dropflush.jsonl");
+    {
+        let _guard = scoped(Arc::new(JsonlSink::create(&path).unwrap()));
+        // A manifest is the largest single line the pipeline writes — the
+        // likeliest to straddle a BufWriter boundary if flushing is broken.
+        let mut manifest = RunManifest::new("drop-flush-test");
+        manifest.config = (0..64)
+            .map(|i| Field::new(format!("key_{i}"), format!("value_{i}")))
+            .collect();
+        manifest.emit();
+    }
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(
+        text.ends_with('\n'),
+        "file must end with a complete newline-terminated record"
+    );
+    for line in text.lines() {
+        let value: serde_json::Value = serde_json::from_str(line).expect("no truncated JSON line");
+        assert!(value.get("payload").is_some());
+    }
     std::fs::remove_file(&path).ok();
 }
 

@@ -140,6 +140,16 @@ fn run_manifest_event_schema_is_stable() {
         recoveries: vec![
             "zoo.cache.corrupt: golden.kgfd: checksum mismatch (evicted, retrained)".to_string(),
         ],
+        trace: Some(kgfd_obs::TraceSummary {
+            spans: 3,
+            max_depth: 2,
+            top_self_time: vec![kgfd_obs::TraceNode {
+                name: "discover.total".to_string(),
+                count: 1,
+                total_us: 12_500_000,
+                self_us: 2_000_000,
+            }],
+        }),
     }
     .with_config("top_n", 500usize)
     .with_config("max_candidates", 500usize)

@@ -274,6 +274,7 @@ fn zoo_recovery_is_visible_in_the_jsonl_run_manifest() {
             config: Vec::new(),
             wall_clock_s: 0.0,
             recoveries: Vec::new(),
+            trace: None,
         }
         .emit();
     }
