@@ -2,7 +2,7 @@
 //! commands are directly testable; `main` only prints.
 
 use crate::args::{ArgError, Args};
-use fact_discovery::{discover_facts, DiscoveryConfig, StrategyKind};
+use fact_discovery::{try_discover_facts, DiscoveryConfig, StrategyKind};
 use kgfd_datasets::{
     codexl_like, fb15k237_like, find_inverse_pairs, generate, mini, toy_biomedical, wn18rr_like,
     yago310_like,
@@ -55,9 +55,13 @@ COMMANDS:
   discover  --train <TSV> --model-file <FILE> [--strategy <ur|ef|gd|cc|ct|cs|pr>]
             [--top-n 500] [--max-candidates 500] [--relation <LABEL>]
             [--explore <EPS>] [--consolidate] [--prune] [--seed 0]
-            [--threads <N>] [--heldout <TSV>] [--out <TSV>]
+            [--threads <N>] [--chunk-size 128] [--top-k <K>]
+            [--heldout <TSV>] [--out <TSV>]
             discover missing facts (Algorithm 1 of the paper); --threads
-            sets the candidate-ranking worker count
+            sets the candidate-ranking worker count; candidates stream
+            through the scorer --chunk-size at a time (results are
+            bit-identical for any chunk size), and --top-k keeps only the
+            K best facts per relation in a bounded heap
   audit-inverse --train <TSV> [--threshold 0.8]
             detect inverse-relation test-leakage pairs
   fit       --train <TSV> [--name <NAME>] [--seed 0]
@@ -624,6 +628,13 @@ fn cmd_discover(args: &Args) -> CmdResult {
             .ok_or_else(|| format!("relation {label:?} not in the graph"))?]),
         None => None,
     };
+    let top_k = match args.get("top-k") {
+        Some(v) => Some(
+            v.parse::<usize>()
+                .map_err(|_| format!("--top-k expects an integer, got {v:?}"))?,
+        ),
+        None => None,
+    };
     let config = DiscoveryConfig {
         strategy: parse_strategy(args.get("strategy").unwrap_or("ef"))?,
         top_n: args.parse_or("top-n", 500, "integer")?,
@@ -634,12 +645,21 @@ fn cmd_discover(args: &Args) -> CmdResult {
         prune_with_rules: args.flag("prune"),
         seed: args.parse_or("seed", 0, "integer")?,
         threads: args.parse_or("threads", DiscoveryConfig::default().threads, "integer")?,
+        chunk_size: args.parse_or(
+            "chunk-size",
+            DiscoveryConfig::default().chunk_size,
+            "integer",
+        )?,
+        top_k,
         ..DiscoveryConfig::default()
     };
     if config.threads == 0 {
         return Err("--threads must be at least 1".into());
     }
-    let report = discover_facts(model.as_ref(), &store, &config);
+    if config.chunk_size == 0 {
+        return Err("--chunk-size must be at least 1".into());
+    }
+    let report = try_discover_facts(model.as_ref(), &store, &config)?;
 
     let mut facts = report.facts.clone();
     facts.sort_by(|a, b| a.rank.total_cmp(&b.rank));
@@ -700,10 +720,28 @@ fn cmd_discover(args: &Args) -> CmdResult {
         .with_config("exploration_epsilon", config.exploration_epsilon)
         .with_config("consolidate_sides", config.consolidate_sides)
         .with_config("prune_with_rules", config.prune_with_rules)
+        .with_config("chunk_size", config.chunk_size)
+        .with_config("top_k", config.top_k.map(|k| k as u64).unwrap_or(0))
         .with_config("facts", report.facts.len())
         .with_config(
             "eval.rank.dedup_ratio",
             kgfd_obs::gauge("eval.rank.dedup_ratio").get(),
+        )
+        .with_config(
+            "discover.stream.peak_buffer",
+            kgfd_obs::gauge("discover.stream.peak_buffer").get(),
+        )
+        .with_config(
+            "discover.stream.chunks",
+            kgfd_obs::counter("discover.stream.chunks").get(),
+        )
+        .with_config(
+            "discover.cache.measures_hit",
+            kgfd_obs::counter("discover.cache.measures_hit").get(),
+        )
+        .with_config(
+            "discover.cache.measures_miss",
+            kgfd_obs::counter("discover.cache.measures_miss").get(),
         )
         .emit();
 

@@ -1,4 +1,4 @@
-//! `DiscoverFacts` — Algorithm 1 of the paper.
+//! `DiscoverFacts` — Algorithm 1 of the paper, as a streaming engine.
 //!
 //! For each relation `r` of the input graph: weight the per-relation
 //! subject/object entity pools with the chosen strategy, sample
@@ -8,7 +8,18 @@
 //! candidates exist. Candidates are then ranked against their corruptions
 //! (filtered by the training graph) and those ranking within `top_n` are
 //! returned as facts.
+//!
+//! [`discover_facts`] runs this **streamed**: each relation's candidates are
+//! produced by a [`CandidateStream`] iterator and scored `chunk_size` at a
+//! time, with kept facts held in a bounded [`TopKFacts`] heap — the live
+//! candidate footprint per relation is `chunk_size + top_k`, independent of
+//! `max_candidates`. The original materialize-everything path survives as
+//! [`discover_facts_materialized`], the reference oracle the conformance
+//! suite (`tests/discovery_streaming.rs`) checks the stream against: facts
+//! and ranks are **bit-identical** between the two at any chunk size and
+//! thread count.
 
+use crate::streaming::{cached_measures, CandidateStream, TopKFacts};
 use crate::{
     compute_weights, AliasSampler, CandidateRules, DiscoveredFact, DiscoveryReport, Measures,
     RelationBreakdown, StrategyKind,
@@ -16,10 +27,10 @@ use crate::{
 use fxhash::{FxBuildHasher, FxHashSet};
 use kgfd_embed::KgeModel;
 use kgfd_eval::rank_all;
-use kgfd_kg::SideIndex;
-use kgfd_kg::{EntityId, KnownTriples, RelationId, Triple, TripleStore};
+use kgfd_kg::{EntityId, KgError, KnownTriples, RelationId, SideIndex, Triple, TripleStore};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::time::Duration;
 
 /// Configuration of one discovery run (the inputs of Algorithm 1).
 #[derive(Debug, Clone)]
@@ -39,7 +50,8 @@ pub struct DiscoveryConfig {
     pub relations: Option<Vec<RelationId>>,
     /// Mixes this fraction of uniform probability into every strategy's
     /// weights — the exploration/exploitation dial the paper's §6 calls for
-    /// (`0.0` = the paper's pure-exploitation behaviour).
+    /// (`0.0` = the paper's pure-exploitation behaviour). Must be finite;
+    /// [`try_discover_facts`] rejects NaN/∞ with a typed error.
     pub exploration_epsilon: f64,
     /// Sample from graph-global side pools instead of per-relation pools
     /// (AmpliGraph's `consolidate_sides=True`); reaches entities never seen
@@ -57,6 +69,17 @@ pub struct DiscoveryConfig {
     pub seed: u64,
     /// Worker threads for candidate ranking.
     pub threads: usize,
+    /// Candidates scored per streaming batch — the engine's working-set
+    /// bound. Behaviourally invisible: facts and ranks are bit-identical at
+    /// any chunk size; only memory and batching granularity change. Values
+    /// below 1 are treated as 1.
+    pub chunk_size: usize,
+    /// Keep only the `k` best facts *per relation* under the total order
+    /// `(rank, subject, relation, object)` (see
+    /// [`crate::streaming::fact_order`]), held in a bounded heap during the
+    /// run. `None` (default) keeps every fact within `top_n` — the paper's
+    /// behaviour, bit-identical to [`discover_facts_materialized`].
+    pub top_k: Option<usize>,
 }
 
 impl Default for DiscoveryConfig {
@@ -75,16 +98,74 @@ impl Default for DiscoveryConfig {
             threads: std::thread::available_parallelism()
                 .map(|p| p.get().min(8))
                 .unwrap_or(1),
+            chunk_size: 128,
+            top_k: None,
         }
     }
 }
 
+/// Which candidate path a run uses. The streaming engine is the production
+/// path; the materialized one is the reference oracle.
+#[derive(Clone, Copy)]
+enum Engine {
+    Streaming,
+    Materialized,
+}
+
 /// Runs Algorithm 1: discovers facts absent from `store` that `model` ranks
-/// within `config.top_n` of their corruptions.
+/// within `config.top_n` of their corruptions. Candidates stream through
+/// the scorer in `config.chunk_size` batches, so memory per relation is
+/// bounded by `chunk_size + top_k` rather than `max_candidates`.
+///
+/// Panics if the configuration is invalid (non-finite
+/// `exploration_epsilon`); use [`try_discover_facts`] for a typed error.
 pub fn discover_facts(
     model: &dyn KgeModel,
     store: &TripleStore,
     config: &DiscoveryConfig,
+) -> DiscoveryReport {
+    try_discover_facts(model, store, config).expect("invalid discovery configuration")
+}
+
+/// [`discover_facts`] with configuration validation: rejects a non-finite
+/// `exploration_epsilon` with [`KgError::Invariant`] instead of silently
+/// treating NaN as "no exploration".
+pub fn try_discover_facts(
+    model: &dyn KgeModel,
+    store: &TripleStore,
+    config: &DiscoveryConfig,
+) -> Result<DiscoveryReport, KgError> {
+    if !config.exploration_epsilon.is_finite() {
+        return Err(KgError::Invariant(format!(
+            "exploration_epsilon must be finite, got {}",
+            config.exploration_epsilon
+        )));
+    }
+    Ok(run_discovery(model, store, config, Engine::Streaming))
+}
+
+/// The pre-streaming reference implementation: materializes every candidate
+/// for a relation before ranking (peak memory O(`max_candidates`) per
+/// relation) and keeps every fact within `top_n`, ignoring `chunk_size` and
+/// `top_k`. Kept as the oracle for the differential conformance suite —
+/// with `top_k = None` the streaming engine's output is bit-identical to
+/// this path's.
+pub fn discover_facts_materialized(
+    model: &dyn KgeModel,
+    store: &TripleStore,
+    config: &DiscoveryConfig,
+) -> DiscoveryReport {
+    run_discovery(model, store, config, Engine::Materialized)
+}
+
+/// Shared orchestration: preparation, the relation fan-out (sequential or
+/// crossbeam-scoped), and report assembly. Identical for both engines so a
+/// conformance divergence can only come from the per-relation paths.
+fn run_discovery(
+    model: &dyn KgeModel,
+    store: &TripleStore,
+    config: &DiscoveryConfig,
+    engine: Engine,
 ) -> DiscoveryReport {
     let total_span = kgfd_obs::span!("discover.total", strategy = config.strategy.to_string());
 
@@ -92,7 +173,21 @@ pub fn discover_facts(
         "discover.preparation",
         strategy = config.strategy.to_string()
     );
-    let measures = Measures::compute(config.strategy, store);
+    // The streaming engine shares measure tables across runs via the
+    // (fingerprint, strategy) cache; the oracle recomputes from scratch so
+    // the two paths cannot accidentally share a wrong table.
+    let cached;
+    let owned;
+    let measures: &Measures = match engine {
+        Engine::Streaming => {
+            cached = cached_measures(config.strategy, store);
+            cached.as_ref()
+        }
+        Engine::Materialized => {
+            owned = Measures::compute(config.strategy, store);
+            &owned
+        }
+    };
     let known = KnownTriples::from_slices([store.triples()]);
     let rules = config
         .prune_with_rules
@@ -113,6 +208,34 @@ pub fn discover_facts(
     // entities per side fill the budget in one iteration in expectation.
     let sample_size = (config.max_candidates as f64).sqrt() as usize + 10;
 
+    let run_one = |r: RelationId, rank_threads: usize| -> RelationOutcome {
+        match engine {
+            Engine::Streaming => discover_relation_streaming(
+                model,
+                store,
+                config,
+                r,
+                measures,
+                &known,
+                rules.as_ref(),
+                consolidated.as_ref(),
+                rank_threads,
+            ),
+            Engine::Materialized => discover_relation_materialized(
+                model,
+                store,
+                config,
+                r,
+                measures,
+                &known,
+                rules.as_ref(),
+                consolidated.as_ref(),
+                sample_size,
+                rank_threads,
+            ),
+        }
+    };
+
     // Relations are embarrassingly parallel: each draws from its own
     // seed-derived RNG stream and sees only shared read-only state, so the
     // outcome of one never depends on which others run or where. Workers
@@ -128,34 +251,20 @@ pub fn discover_facts(
                 // Trace-only: groups this relation's generation/evaluation
                 // spans in trace exports without adding per-relation events.
                 let _rel_span = kgfd_obs::span_traced!("discover.relation", relation = r.0);
-                discover_relation(
-                    model,
-                    store,
-                    config,
-                    r,
-                    &measures,
-                    &known,
-                    rules.as_ref(),
-                    consolidated.as_ref(),
-                    sample_size,
-                    config.threads,
-                )
+                run_one(r, config.threads)
             })
             .collect()
     } else {
-        let chunk = relations.len().div_ceil(workers);
+        let per_worker = relations.len().div_ceil(workers);
         let mut collected = Vec::with_capacity(relations.len());
         // Worker threads have an empty span stack; hand the root span over
         // explicitly so every per-relation span still nests under it.
         let total_handle = total_span.handle();
+        let run_one = &run_one;
         crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = relations
-                .chunks(chunk)
+                .chunks(per_worker)
                 .map(|part| {
-                    let measures = &measures;
-                    let known = &known;
-                    let rules = rules.as_ref();
-                    let consolidated = consolidated.as_ref();
                     scope.spawn(move |_| {
                         part.iter()
                             .map(|&r| {
@@ -164,18 +273,7 @@ pub fn discover_facts(
                                     "discover.relation",
                                     vec![kgfd_obs::Field::new("relation", r.0)],
                                 );
-                                discover_relation(
-                                    model,
-                                    store,
-                                    config,
-                                    r,
-                                    measures,
-                                    known,
-                                    rules,
-                                    consolidated,
-                                    sample_size,
-                                    1,
-                                )
+                                run_one(r, 1)
                             })
                             .collect::<Vec<_>>()
                     })
@@ -191,8 +289,8 @@ pub fn discover_facts(
 
     let mut facts = Vec::new();
     let mut per_relation = Vec::with_capacity(outcomes.len());
-    let mut generation = std::time::Duration::ZERO;
-    let mut evaluation = std::time::Duration::ZERO;
+    let mut generation = Duration::ZERO;
+    let mut evaluation = Duration::ZERO;
     for outcome in outcomes {
         generation += outcome.breakdown.generation;
         evaluation += outcome.breakdown.evaluation;
@@ -220,11 +318,120 @@ struct RelationOutcome {
     breakdown: RelationBreakdown,
 }
 
-/// Generation + ranking for a single relation (Algorithm 1 lines 4–15).
-/// Deterministic given `config.seed` and `r` alone — safe to run for many
-/// relations concurrently.
+/// Streaming generation + ranking for a single relation: pull up to
+/// `chunk_size` candidates from the [`CandidateStream`], rank the chunk,
+/// push survivors into the bounded [`TopKFacts`] heap, repeat until the
+/// stream runs dry. Deterministic given `config.seed` and `r` alone — safe
+/// to run for many relations concurrently — and bit-identical to
+/// [`discover_relation_materialized`] when `top_k` is `None`.
+///
+/// Observability: each chunk opens trace-only `discover.generation` /
+/// `discover.evaluation` spans (so trace trees nest the ranking kernels
+/// correctly), and the per-phase totals are then emitted as *one* aggregate
+/// SpanEnd event per phase — sinks see exactly the same event shape as the
+/// materialized path. Peak working set is published on the
+/// `discover.stream.peak_buffer` gauge; per-chunk throughput on the
+/// `discover.stream.chunks` counter and `discover.stream.chunk_candidates`
+/// / `discover.stream.chunk_us` histograms.
 #[allow(clippy::too_many_arguments)]
-fn discover_relation(
+fn discover_relation_streaming(
+    model: &dyn KgeModel,
+    store: &TripleStore,
+    config: &DiscoveryConfig,
+    r: RelationId,
+    measures: &Measures,
+    known: &KnownTriples,
+    rules: Option<&CandidateRules>,
+    consolidated: Option<&(SideIndex, SideIndex)>,
+    rank_threads: usize,
+) -> RelationOutcome {
+    // Stream setup (pool resolution, weights, alias tables) is generation
+    // work; time it under the same phase as the draw loop.
+    let setup_span = kgfd_obs::span_traced!("discover.generation", relation = r.0);
+    let mut stream = CandidateStream::for_relation(store, config, r, measures, rules, consolidated)
+        .expect("built-in strategies produce finite weights");
+    let mut generation = setup_span.finish();
+    let mut evaluation = Duration::ZERO;
+
+    let chunk_size = config.chunk_size.max(1);
+    let mut top = TopKFacts::new(config.top_k);
+    let mut chunk: Vec<Triple> = Vec::with_capacity(chunk_size.min(config.max_candidates));
+    let mut peak_buffer = 0usize;
+    loop {
+        chunk.clear();
+        let gen_span = kgfd_obs::span_traced!("discover.generation", relation = r.0);
+        stream.fill_chunk(&mut chunk, chunk_size);
+        let gen_elapsed = gen_span.finish();
+        generation += gen_elapsed;
+        if chunk.is_empty() {
+            break;
+        }
+        peak_buffer = peak_buffer.max(chunk.len() + top.len());
+
+        // Lines 14–15 per chunk: rank candidates, keep those within top_n.
+        let eval_span = kgfd_obs::span_traced!("discover.evaluation", relation = r.0);
+        let ranks = rank_all(model, &chunk, Some(known), rank_threads);
+        for (t, r2) in chunk.iter().zip(&ranks) {
+            let rank = r2.mean();
+            if rank > config.top_n as f64 {
+                continue;
+            }
+            if let Some((calibration, threshold)) = &config.min_probability {
+                if calibration.probability(model.score(*t)) <= *threshold {
+                    continue;
+                }
+            }
+            top.push(DiscoveredFact { triple: *t, rank });
+        }
+        let eval_elapsed = eval_span.finish();
+        evaluation += eval_elapsed;
+        peak_buffer = peak_buffer.max(chunk.len() + top.len());
+
+        kgfd_obs::counter("discover.stream.chunks").inc();
+        kgfd_obs::histogram("discover.stream.chunk_candidates").record(chunk.len() as f64);
+        kgfd_obs::histogram("discover.stream.chunk_us")
+            .record((gen_elapsed + eval_elapsed).as_micros() as f64);
+    }
+    // Running maximum across relations/threads: the engine's bounded-memory
+    // contract (peak ≤ chunk_size + top_k) is asserted against this gauge.
+    kgfd_obs::gauge("discover.stream.peak_buffer").set_max(peak_buffer as f64);
+
+    // One aggregate event per phase per relation — same event stream shape
+    // as the materialized path even though the phases interleave per chunk.
+    kgfd_obs::emit_span_aggregate(
+        "discover.generation",
+        generation,
+        vec![kgfd_obs::Field::new("relation", r.0)],
+    );
+    kgfd_obs::counter("discover.generation.candidates").add(stream.produced() as u64);
+    kgfd_obs::counter("discover.generation.pruned").add(stream.pruned() as u64);
+    kgfd_obs::emit_span_aggregate(
+        "discover.evaluation",
+        evaluation,
+        vec![kgfd_obs::Field::new("relation", r.0)],
+    );
+    let facts = top.into_ordered();
+    kgfd_obs::counter("discover.evaluation.facts").add(facts.len() as u64);
+
+    let breakdown = RelationBreakdown {
+        relation: r,
+        candidates: stream.produced(),
+        facts: facts.len(),
+        pruned: stream.pruned(),
+        iterations: stream.iterations(),
+        generation,
+        evaluation,
+    };
+    RelationOutcome { facts, breakdown }
+}
+
+/// Materialized generation + ranking for a single relation (Algorithm 1
+/// lines 4–15 verbatim) — the oracle implementation, deliberately kept as
+/// an independent transcription of the paper's loop rather than a wrapper
+/// over [`CandidateStream`], so the conformance suite compares two real
+/// implementations.
+#[allow(clippy::too_many_arguments)]
+fn discover_relation_materialized(
     model: &dyn KgeModel,
     store: &TripleStore,
     config: &DiscoveryConfig,
@@ -258,7 +465,7 @@ fn discover_relation(
                 pruned: 0,
                 iterations: 0,
                 generation: gen_span.finish(),
-                evaluation: std::time::Duration::ZERO,
+                evaluation: Duration::ZERO,
             },
         };
     }
@@ -363,7 +570,7 @@ fn global_side_index(store: &TripleStore, side: kgfd_kg::Side) -> SideIndex {
 }
 
 /// `w ← (1 − ε) w + ε / n` — keeps every pool member reachable.
-fn mix_uniform(weights: &mut [f64], epsilon: f64) {
+pub(crate) fn mix_uniform(weights: &mut [f64], epsilon: f64) {
     let epsilon = epsilon.clamp(0.0, 1.0);
     let u = epsilon / weights.len() as f64;
     for w in weights.iter_mut() {
@@ -417,6 +624,92 @@ mod tests {
     }
 
     #[test]
+    fn streaming_matches_the_materialized_oracle() {
+        // The root-level conformance suite sweeps every strategy × model ×
+        // thread count; this is the fast in-crate smoke version.
+        let (data, model) = trained_toy();
+        for strategy in [StrategyKind::EntityFrequency, StrategyKind::GraphDegree] {
+            let cfg = quick_config(strategy);
+            let streamed = discover_facts(model.as_ref(), &data.train, &cfg);
+            let oracle = discover_facts_materialized(model.as_ref(), &data.train, &cfg);
+            assert_eq!(streamed.facts, oracle.facts, "{strategy}: facts diverged");
+        }
+    }
+
+    #[test]
+    fn chunk_size_never_changes_the_discovered_facts() {
+        let (data, model) = trained_toy();
+        let baseline = discover_facts(
+            model.as_ref(),
+            &data.train,
+            &quick_config(StrategyKind::EntityFrequency),
+        );
+        for chunk_size in [1, 7, 10_000] {
+            let mut cfg = quick_config(StrategyKind::EntityFrequency);
+            cfg.chunk_size = chunk_size;
+            let report = discover_facts(model.as_ref(), &data.train, &cfg);
+            assert_eq!(
+                report.facts, baseline.facts,
+                "chunk_size {chunk_size} changed the facts"
+            );
+            for (a, b) in report.per_relation.iter().zip(&baseline.per_relation) {
+                assert_eq!(a.candidates, b.candidates);
+                assert_eq!(a.iterations, b.iterations);
+                assert_eq!(a.pruned, b.pruned);
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_keeps_the_best_facts_in_generation_order() {
+        let (data, model) = trained_toy();
+        let base = quick_config(StrategyKind::EntityFrequency);
+        let unbounded = discover_facts(model.as_ref(), &data.train, &base);
+        let mut capped_cfg = base.clone();
+        capped_cfg.top_k = Some(2);
+        let capped = discover_facts(model.as_ref(), &data.train, &capped_cfg);
+
+        for rel in &unbounded.per_relation {
+            let all: Vec<DiscoveredFact> = unbounded
+                .facts
+                .iter()
+                .filter(|f| f.triple.relation == rel.relation)
+                .copied()
+                .collect();
+            // Expected: the 2 best under the total order, in their original
+            // generation order.
+            let mut best = all.clone();
+            best.sort_by(crate::streaming::fact_order);
+            best.truncate(2);
+            let expected: Vec<DiscoveredFact> =
+                all.iter().filter(|f| best.contains(f)).copied().collect();
+            let got: Vec<DiscoveredFact> = capped
+                .facts
+                .iter()
+                .filter(|f| f.triple.relation == rel.relation)
+                .copied()
+                .collect();
+            assert_eq!(got, expected, "relation {:?}", rel.relation);
+            assert!(got.len() <= 2);
+        }
+    }
+
+    #[test]
+    fn non_finite_epsilon_is_rejected_with_a_typed_error() {
+        let (data, model) = trained_toy();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut cfg = quick_config(StrategyKind::UniformRandom);
+            cfg.exploration_epsilon = bad;
+            match try_discover_facts(model.as_ref(), &data.train, &cfg) {
+                Err(KgError::Invariant(msg)) => {
+                    assert!(msg.contains("exploration_epsilon"), "{msg}")
+                }
+                other => panic!("expected Invariant error, got {:?}", other.map(|r| r.facts)),
+            }
+        }
+    }
+
+    #[test]
     fn span_derived_phase_durations_fit_inside_the_total() {
         let (data, model) = trained_toy();
         // Sequential run: with relations processed in parallel the summed
@@ -425,10 +718,8 @@ mod tests {
         cfg.threads = 1;
         let report = discover_facts(model.as_ref(), &data.train, &cfg);
         assert!(report.preparation + report.generation + report.evaluation <= report.total);
-        let per_rel_gen: std::time::Duration =
-            report.per_relation.iter().map(|r| r.generation).sum();
-        let per_rel_eval: std::time::Duration =
-            report.per_relation.iter().map(|r| r.evaluation).sum();
+        let per_rel_gen: Duration = report.per_relation.iter().map(|r| r.generation).sum();
+        let per_rel_eval: Duration = report.per_relation.iter().map(|r| r.evaluation).sum();
         assert_eq!(per_rel_gen, report.generation);
         assert_eq!(per_rel_eval, report.evaluation);
     }

@@ -41,12 +41,16 @@ mod pruning;
 mod report;
 mod sampler;
 mod strategy;
+pub mod streaming;
 mod weights;
 
-pub use discover::{discover_facts, DiscoveryConfig};
+pub use discover::{
+    discover_facts, discover_facts_materialized, try_discover_facts, DiscoveryConfig,
+};
 pub use measures::Measures;
 pub use pruning::CandidateRules;
 pub use report::{DiscoveredFact, DiscoveryReport, RelationBreakdown};
 pub use sampler::{AliasSampler, CdfSampler};
 pub use strategy::StrategyKind;
-pub use weights::{compute_weights, normalize_or_uniform};
+pub use streaming::{cached_measures, fact_order, CandidateStream, TopKFacts};
+pub use weights::{compute_weights, normalize_or_uniform, validate_weights};

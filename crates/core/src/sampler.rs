@@ -5,6 +5,7 @@
 //! O(n) once and O(1) per draw; [`CdfSampler`] is the textbook O(log n)
 //! binary-search alternative kept for the `ablation_sampler` bench.
 
+use kgfd_kg::KgError;
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -59,6 +60,20 @@ impl AliasSampler {
             alias[i] = i;
         }
         AliasSampler { prob, alias }
+    }
+
+    /// [`AliasSampler::new`] with the weight vector validated first:
+    /// returns a typed [`KgError::NonFiniteWeight`] instead of silently
+    /// falling back to the uniform distribution when a weight is NaN or
+    /// infinite, and [`KgError::Invariant`] for an empty pool.
+    pub fn try_new(weights: &[f64]) -> Result<Self, KgError> {
+        if weights.is_empty() {
+            return Err(KgError::Invariant(
+                "cannot sample from an empty pool".into(),
+            ));
+        }
+        crate::validate_weights(weights)?;
+        Ok(AliasSampler::new(weights))
     }
 
     /// Number of items.
@@ -126,6 +141,18 @@ impl CdfSampler {
                 overflow: n - 1,
             }
         }
+    }
+
+    /// [`CdfSampler::new`] with the weight vector validated first — see
+    /// [`AliasSampler::try_new`].
+    pub fn try_new(weights: &[f64]) -> Result<Self, KgError> {
+        if weights.is_empty() {
+            return Err(KgError::Invariant(
+                "cannot sample from an empty pool".into(),
+            ));
+        }
+        crate::validate_weights(weights)?;
+        Ok(CdfSampler::new(weights))
     }
 
     /// Draws one index in O(log n).
@@ -236,6 +263,36 @@ mod tests {
         let freq = empirical(&[2.0, 6.0], 50_000, 6);
         assert!((freq[0] - 0.25).abs() < 0.01, "freq {} vs 0.25", freq[0]);
         assert!((freq[1] - 0.75).abs() < 0.01, "freq {} vs 0.75", freq[1]);
+    }
+
+    #[test]
+    fn try_new_rejects_non_finite_weights_with_a_typed_error() {
+        // Regression: a NaN weight used to propagate into the running total
+        // and trip the degenerate-sum fallback, so both samplers silently
+        // replaced the caller's distribution with the uniform one.
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            match AliasSampler::try_new(&[0.5, bad]) {
+                Err(KgError::NonFiniteWeight { index: 1, .. }) => {}
+                other => panic!("alias: expected NonFiniteWeight, got {other:?}"),
+            }
+            match CdfSampler::try_new(&[0.5, bad]) {
+                Err(KgError::NonFiniteWeight { index: 1, .. }) => {}
+                other => panic!("cdf: expected NonFiniteWeight, got {other:?}"),
+            }
+        }
+        assert!(matches!(
+            AliasSampler::try_new(&[]),
+            Err(KgError::Invariant(_))
+        ));
+        assert!(matches!(
+            CdfSampler::try_new(&[]),
+            Err(KgError::Invariant(_))
+        ));
+        assert!(AliasSampler::try_new(&[1.0, 2.0]).is_ok());
+        assert!(
+            CdfSampler::try_new(&[0.0, 0.0]).is_ok(),
+            "zero-sum is legal"
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! falls back to uniform — sampling must remain well-defined.
 
 use crate::{Measures, StrategyKind};
-use kgfd_kg::SideIndex;
+use kgfd_kg::{KgError, SideIndex};
 
 /// Normalized sampling weights over `pool.entities` (parallel vector).
 pub fn compute_weights(strategy: StrategyKind, measures: &Measures, pool: &SideIndex) -> Vec<f64> {
@@ -21,6 +21,24 @@ pub fn compute_weights(strategy: StrategyKind, measures: &Measures, pool: &SideI
         _ => pool.entities.iter().map(|&e| measures.value(e)).collect(),
     };
     normalize_or_uniform(raw)
+}
+
+/// Rejects weight vectors containing NaN or ±∞ with a typed
+/// [`KgError::NonFiniteWeight`] naming the first offending entry.
+///
+/// The samplers' defensive fallback treats a non-finite *sum* as degenerate
+/// and silently substitutes the uniform distribution — correct for the
+/// all-zero pools the strategies legitimately produce, but for a NaN it
+/// would discard the caller's weights without a trace. Validate at the
+/// boundary instead and keep the fallback for the zero-sum case only.
+pub fn validate_weights(weights: &[f64]) -> Result<(), KgError> {
+    match weights.iter().position(|w| !w.is_finite()) {
+        Some(index) => Err(KgError::NonFiniteWeight {
+            index,
+            value: weights[index],
+        }),
+        None => Ok(()),
+    }
 }
 
 /// Normalizes non-negative weights to sum 1, replacing degenerate inputs
@@ -84,6 +102,18 @@ mod tests {
         let empty = SideIndex::default();
         let w = compute_weights(StrategyKind::UniformRandom, &Measures::PoolLocal, &empty);
         assert!(w.is_empty());
+    }
+
+    #[test]
+    fn validate_weights_flags_the_first_non_finite_entry() {
+        assert!(validate_weights(&[0.0, 1.0, 0.5]).is_ok());
+        assert!(validate_weights(&[]).is_ok());
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            match validate_weights(&[1.0, bad, f64::NAN]) {
+                Err(kgfd_kg::KgError::NonFiniteWeight { index, .. }) => assert_eq!(index, 1),
+                other => panic!("expected NonFiniteWeight, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -1,12 +1,14 @@
 //! Property-based tests of the fact-discovery invariants.
 
 use fact_discovery::{
-    compute_weights, discover_facts, normalize_or_uniform, AliasSampler, CdfSampler,
-    DiscoveryConfig, Measures, StrategyKind,
+    compute_weights, discover_facts, fact_order, normalize_or_uniform, AliasSampler,
+    CandidateStream, CdfSampler, DiscoveredFact, DiscoveryConfig, Measures, StrategyKind,
+    TopKFacts,
 };
 use kgfd_embed::{new_model, ModelKind};
 use kgfd_kg::{Side, Triple, TripleStore};
 use proptest::prelude::*;
+use rand::Rng;
 
 const N: u32 = 10;
 const K: u32 = 3;
@@ -178,6 +180,99 @@ proptest! {
         prop_assert_eq!(fx.len(), std_set.len());
         for t in &stream {
             prop_assert_eq!(fx.contains(t), std_set.contains(t));
+        }
+    }
+
+    #[test]
+    fn top_k_heap_is_arrival_order_invariant(
+        raw in proptest::collection::vec((0..N, 0..K, 0..N, 0u32..20), 1..40),
+        cap in 0usize..12,
+        seed in 0u64..1000,
+    ) {
+        // The heap's keep-set is defined by the total order
+        // (rank, s, r, o) alone: permuting arrival order must never change
+        // WHICH facts survive, even with heavy rank ties. (Emission order
+        // tracks arrival by design, so compare sorted.)
+        let mut facts: Vec<DiscoveredFact> = Vec::new();
+        let mut distinct = std::collections::HashSet::new();
+        for (s, r, o, rank) in raw {
+            let triple = Triple::new(s, r, o);
+            if distinct.insert(triple) {
+                // Coarse ranks force plenty of exact ties.
+                facts.push(DiscoveredFact { triple, rank: (rank / 4) as f64 });
+            }
+        }
+
+        // Expected keep-set: the `cap` smallest under the total order.
+        let mut expected = facts.clone();
+        expected.sort_by(fact_order);
+        expected.truncate(cap);
+
+        let mut base = TopKFacts::new(Some(cap));
+        for f in &facts {
+            base.push(*f);
+        }
+        let mut base_kept = base.into_ordered();
+        base_kept.sort_by(fact_order);
+        prop_assert_eq!(&base_kept, &expected, "kept set is not the k best");
+
+        // Fisher–Yates permutation of the arrival order.
+        let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(seed);
+        let mut shuffled = facts.clone();
+        for i in (1..shuffled.len()).rev() {
+            let j = rng.random_range(0..=i);
+            shuffled.swap(i, j);
+        }
+        let mut heap = TopKFacts::new(Some(cap));
+        for f in &shuffled {
+            heap.push(*f);
+        }
+        let mut kept = heap.into_ordered();
+        kept.sort_by(fact_order);
+        prop_assert_eq!(&kept, &expected, "arrival order changed the kept set");
+    }
+
+    #[test]
+    fn candidate_stream_is_unique_novel_and_chunking_invariant(
+        store in arb_store(),
+        seed in 0u64..100,
+        chunk in 1usize..40,
+    ) {
+        let config = DiscoveryConfig {
+            strategy: StrategyKind::EntityFrequency,
+            max_candidates: 25,
+            seed,
+            threads: 1,
+            ..DiscoveryConfig::default()
+        };
+        let measures = Measures::compute(config.strategy, &store);
+        for r in store.used_relations() {
+            let stream =
+                CandidateStream::for_relation(&store, &config, r, &measures, None, None).unwrap();
+            let all: Vec<Triple> = stream.collect();
+            prop_assert!(all.len() <= config.max_candidates, "budget exceeded");
+            let mut seen = std::collections::HashSet::new();
+            for t in &all {
+                prop_assert!(!store.contains(t), "yielded an existing triple");
+                prop_assert!(seen.insert(*t), "duplicate candidate {t:?}");
+                prop_assert_eq!(t.relation, r);
+            }
+
+            // Pulling in arbitrary chunk sizes must reproduce the exact
+            // one-by-one sequence, and the bookkeeping must match.
+            let mut chunked_stream =
+                CandidateStream::for_relation(&store, &config, r, &measures, None, None).unwrap();
+            let mut chunked = Vec::new();
+            loop {
+                let before = chunked.len();
+                chunked_stream.fill_chunk(&mut chunked, before + chunk);
+                if chunked.len() == before {
+                    break;
+                }
+            }
+            prop_assert_eq!(&chunked, &all);
+            prop_assert_eq!(chunked_stream.produced(), all.len());
+            prop_assert!(chunked_stream.iterations() <= config.max_iterations);
         }
     }
 

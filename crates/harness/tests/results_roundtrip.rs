@@ -39,7 +39,7 @@ fn sweep_results_roundtrip_through_json() {
         seed: 1,
         threads: 2,
         train_threads: 1,
-        metrics_dir: None,
+        ..SweepOptions::for_scale(Scale::Mini)
     };
     let sweep = run_sweep(Scale::Mini, &options);
     let json = serde_json::to_string(&sweep).unwrap();

@@ -33,6 +33,17 @@ pub enum KgError {
     /// to the current format safely (e.g. a v1 TransE file whose distance
     /// flag is untrustworthy); the artifact must be regenerated.
     Migration(String),
+    /// A sampling-weight vector contained a NaN or infinite entry. Rejected
+    /// loudly: a NaN weight would otherwise poison CDF/alias-table
+    /// construction silently (NaN propagates into the running total, which
+    /// then falls back to the uniform distribution without any indication
+    /// that the caller's weights were discarded).
+    NonFiniteWeight {
+        /// Position of the first non-finite entry in the weight vector.
+        index: usize,
+        /// The offending value (NaN, +∞, or −∞).
+        value: f64,
+    },
 }
 
 impl std::fmt::Display for KgError {
@@ -54,6 +65,10 @@ impl std::fmt::Display for KgError {
                 "unsupported format version {found} (this build reads up to v{max_supported})"
             ),
             KgError::Migration(msg) => write!(f, "migration required: {msg}"),
+            KgError::NonFiniteWeight { index, value } => write!(
+                f,
+                "non-finite sampling weight {value} at index {index}; weights must be finite"
+            ),
         }
     }
 }
@@ -108,6 +123,16 @@ mod tests {
         assert!(KgError::Migration("retrain".into())
             .to_string()
             .contains("retrain"));
+    }
+
+    #[test]
+    fn non_finite_weight_names_the_offender() {
+        let msg = KgError::NonFiniteWeight {
+            index: 3,
+            value: f64::NAN,
+        }
+        .to_string();
+        assert!(msg.contains("index 3") && msg.contains("NaN"), "{msg}");
     }
 
     #[test]

@@ -51,6 +51,9 @@ pub struct TripleStore {
     subjects: Vec<SideIndex>,
     /// Per-relation object-side index.
     objects: Vec<SideIndex>,
+    /// Content hash over the declared shape and the sorted triple list,
+    /// computed once at construction (see [`TripleStore::fingerprint`]).
+    fingerprint: u64,
 }
 
 impl TripleStore {
@@ -95,6 +98,8 @@ impl TripleStore {
             objects.push(build_side_index(slice, Side::Object));
         }
 
+        let fingerprint = fingerprint_of(num_entities, num_relations, &triples);
+
         Ok(TripleStore {
             num_entities,
             num_relations,
@@ -103,6 +108,7 @@ impl TripleStore {
             membership,
             subjects,
             objects,
+            fingerprint,
         })
     }
 
@@ -184,6 +190,18 @@ impl TripleStore {
         counts
     }
 
+    /// A stable 64-bit content hash of this graph: the declared
+    /// entity/relation counts plus every (sorted, deduplicated) triple.
+    /// Two stores built from the same logical graph — regardless of input
+    /// triple order or duplicates — share a fingerprint, so it can key
+    /// caches of graph-derived artifacts (e.g. strategy weight tables)
+    /// across discovery runs. Independent of any ambient hasher
+    /// randomisation; computed once at construction.
+    #[inline]
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
     /// Size of the complement graph `|E|² × |R| − |G|`, the candidate space an
     /// exhaustive fact-discovery approach would have to enumerate (paper §1).
     pub fn complement_size(&self) -> u128 {
@@ -191,6 +209,28 @@ impl TripleStore {
         let k = self.num_relations as u128;
         n * n * k - self.triples.len() as u128
     }
+}
+
+/// splitmix64-style mixing over the store's canonical content. Seedless and
+/// layout-stable, so fingerprints are comparable across processes and runs.
+fn fingerprint_of(num_entities: usize, num_relations: usize, triples: &[Triple]) -> u64 {
+    fn mix(state: u64, v: u64) -> u64 {
+        let mut z = state
+            .wrapping_add(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(v.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    let mut h = mix(0x6B67_6664_5F6B_6721, num_entities as u64);
+    h = mix(h, num_relations as u64);
+    h = mix(h, triples.len() as u64);
+    for t in triples {
+        let packed =
+            ((t.relation.0 as u64) << 42) ^ ((t.subject.0 as u64) << 21) ^ (t.object.0 as u64);
+        h = mix(h, packed);
+    }
+    h
 }
 
 fn build_side_index(slice: &[Triple], side: Side) -> SideIndex {
@@ -291,6 +331,42 @@ mod tests {
         let s = store();
         // 4² × 2 − 4 = 28
         assert_eq!(s.complement_size(), 28);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_under_input_order_and_duplicates() {
+        let triples = vec![
+            Triple::new(0u32, 0u32, 1u32),
+            Triple::new(0u32, 0u32, 2u32),
+            Triple::new(1u32, 0u32, 2u32),
+            Triple::new(2u32, 1u32, 3u32),
+        ];
+        let mut shuffled = triples.clone();
+        shuffled.reverse();
+        let mut with_dup = triples.clone();
+        with_dup.push(triples[0]);
+        let a = TripleStore::new(4, 2, triples).unwrap();
+        let b = TripleStore::new(4, 2, shuffled).unwrap();
+        let c = TripleStore::new(4, 2, with_dup).unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_content_and_shape() {
+        let base = store();
+        let mut fewer = base.triples().to_vec();
+        fewer.pop();
+        let smaller = TripleStore::new(4, 2, fewer).unwrap();
+        assert_ne!(base.fingerprint(), smaller.fingerprint());
+
+        // Same triples, different declared vocabulary shape.
+        let wider = TripleStore::new(5, 2, base.triples().to_vec()).unwrap();
+        assert_ne!(base.fingerprint(), wider.fingerprint());
+
+        // The empty graph still has a fingerprint.
+        let empty = TripleStore::new(0, 0, vec![]).unwrap();
+        assert_ne!(empty.fingerprint(), base.fingerprint());
     }
 
     #[test]

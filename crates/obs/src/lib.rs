@@ -62,7 +62,7 @@ pub use observer::{
     StderrProgress,
 };
 pub use serve::{current_phase, prometheus_text, set_phase, MetricsServer};
-pub use span::Span;
+pub use span::{emit_span_aggregate, Span};
 pub use trace::{
     collector, current_span, current_span_handle, disable as disable_tracing,
     enable as enable_tracing, record_manual, thread_id, EnteredSpan, SpanHandle, SpanId,

@@ -60,6 +60,24 @@ impl Gauge {
     pub fn get(&self) -> f64 {
         f64::from_bits(self.bits.load(Ordering::Relaxed))
     }
+
+    /// Raises the gauge to `v` if `v` exceeds the current value — a
+    /// lock-free running maximum (e.g. peak buffer occupancy across
+    /// concurrent workers). Non-finite `v` is ignored.
+    pub fn set_max(&self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        let _ = self
+            .bits
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                if v > f64::from_bits(bits) {
+                    Some(v.to_bits())
+                } else {
+                    None
+                }
+            });
+    }
 }
 
 /// A log-bucketed histogram of non-negative values.
@@ -314,6 +332,19 @@ mod tests {
         g.set(1.5);
         g.set(-2.0);
         assert_eq!(r.gauge("y").get(), -2.0);
+    }
+
+    #[test]
+    fn gauge_set_max_is_a_running_maximum() {
+        let g = Gauge::default();
+        g.set_max(3.0);
+        g.set_max(1.0);
+        assert_eq!(g.get(), 3.0);
+        g.set_max(7.5);
+        assert_eq!(g.get(), 7.5);
+        g.set_max(f64::NAN);
+        g.set_max(f64::INFINITY);
+        assert_eq!(g.get(), 7.5, "non-finite values must be ignored");
     }
 
     #[test]

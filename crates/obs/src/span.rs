@@ -164,6 +164,30 @@ impl Drop for Span {
     }
 }
 
+/// Emits one synthesized [`Payload::SpanEnd`] event (and the matching
+/// `<name>.duration_us` histogram sample) for work that was timed
+/// externally — typically a phase whose execution interleaves with another
+/// phase (e.g. streaming generation/evaluation chunks) but which must still
+/// surface as a *single* per-phase event so sinks see one record per phase
+/// per unit of work.
+///
+/// The event gets a fresh span id and parents under the innermost live span
+/// of the calling thread. It is **not** recorded into the trace collector:
+/// the fine-grained trace-only spans that were actually timed already
+/// represent this duration in the trace tree, and recording the aggregate
+/// again would double-count it.
+pub fn emit_span_aggregate(name: &str, duration: Duration, fields: Vec<Field>) {
+    let us = duration.as_micros() as u64;
+    histogram(&format!("{name}.duration_us")).record(us as f64);
+    crate::observer::emit(Payload::SpanEnd {
+        name: name.to_string(),
+        duration_us: us,
+        span_id: trace::next_span_id().0,
+        parent_id: trace::current_span().map(|p| p.0),
+        fields,
+    });
+}
+
 /// Starts a [`Span`]: `span!("discover.generation")` or
 /// `span!("discover.generation", relation = r.0)`.
 #[macro_export]

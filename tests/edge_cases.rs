@@ -153,6 +153,118 @@ fn every_strategy_handles_triangle_free_graphs() {
 }
 
 #[test]
+fn top_k_wider_than_the_fact_count_changes_nothing() {
+    // A bounded heap with more room than there are facts must behave
+    // exactly like the unbounded default.
+    let data = kgfd_datasets::toy_biomedical();
+    let (model, _) = train(
+        ModelKind::DistMult,
+        &data.train,
+        &TrainConfig {
+            dim: 16,
+            epochs: 10,
+            seed: 4,
+            ..TrainConfig::default()
+        },
+    );
+    let base = DiscoveryConfig {
+        top_n: 10,
+        max_candidates: 30,
+        seed: 6,
+        ..DiscoveryConfig::default()
+    };
+    let unbounded = discover_facts(model.as_ref(), &data.train, &base);
+    let wide = discover_facts(
+        model.as_ref(),
+        &data.train,
+        &DiscoveryConfig {
+            top_k: Some(1000),
+            ..base
+        },
+    );
+    assert_eq!(unbounded.facts, wide.facts);
+    assert_eq!(unbounded.per_relation.len(), wide.per_relation.len());
+}
+
+#[test]
+fn zero_top_k_keeps_no_facts_but_still_counts_candidates() {
+    let store = tiny_store();
+    let model = new_model(ModelKind::DistMult, 3, 2, 8, 0);
+    let config = DiscoveryConfig {
+        relations: Some(vec![RelationId(0)]),
+        top_n: usize::MAX >> 1,
+        max_candidates: 10,
+        top_k: Some(0),
+        ..DiscoveryConfig::default()
+    };
+    let report = discover_facts(model.as_ref(), &store, &config);
+    assert!(report.facts.is_empty(), "top_k = 0 must keep nothing");
+    assert_eq!(report.per_relation.len(), 1);
+    assert!(
+        report.per_relation[0].candidates > 0,
+        "candidates are generated and scored even when none are kept"
+    );
+    assert_eq!(report.per_relation[0].facts, 0);
+}
+
+#[test]
+fn zero_top_n_filters_every_candidate_without_panicking() {
+    // Ranks are ≥ 1, so top_n = 0 rejects everything; the report must still
+    // be well-formed with full per-relation bookkeeping.
+    let store = tiny_store();
+    let model = new_model(ModelKind::TransE, 3, 2, 8, 0);
+    let config = DiscoveryConfig {
+        top_n: 0,
+        max_candidates: 10,
+        ..DiscoveryConfig::default()
+    };
+    let report = discover_facts(model.as_ref(), &store, &config);
+    assert!(report.facts.is_empty());
+    for rel in &report.per_relation {
+        assert_eq!(rel.facts, 0);
+        assert!(rel.candidates > 0 || rel.iterations > 0);
+    }
+}
+
+#[test]
+fn chunk_size_boundaries_are_clamped_and_invisible() {
+    // chunk_size 0 is treated as 1 and usize::MAX must not try to
+    // preallocate; both produce the default output.
+    let data = kgfd_datasets::toy_biomedical();
+    let (model, _) = train(
+        ModelKind::DistMult,
+        &data.train,
+        &TrainConfig {
+            dim: 16,
+            epochs: 10,
+            seed: 4,
+            ..TrainConfig::default()
+        },
+    );
+    let base = DiscoveryConfig {
+        top_n: 10,
+        max_candidates: 30,
+        seed: 6,
+        ..DiscoveryConfig::default()
+    };
+    let baseline = discover_facts(model.as_ref(), &data.train, &base);
+    for chunk_size in [0, usize::MAX] {
+        let report = discover_facts(
+            model.as_ref(),
+            &data.train,
+            &DiscoveryConfig {
+                chunk_size,
+                ..base.clone()
+            },
+        );
+        assert_eq!(
+            report.facts, baseline.facts,
+            "chunk_size {chunk_size} changed the output"
+        );
+    }
+}
+
+#[test]
 fn single_relation_discovery_matches_filtered_full_run() {
     // Restricting to one relation must give the same facts as filtering the
     // full run to that relation (per-relation RNG streams are independent).
