@@ -8,8 +8,9 @@ use kgfd_datasets::{
     yago310_like,
 };
 use kgfd_embed::{
-    read_model_file, train, write_model_file, KgeModel, LossKind, ModelKind, OptimizerKind,
-    TrainConfig,
+    checkpoint_paths, read_model_file, resume_latest, train, write_model_file, CheckpointPolicy,
+    KgeModel, LossKind, ModelKind, OptimizerKind, ResumeReport, StopSignal, TrainConfig,
+    TrainOutcome, TrainSession,
 };
 use kgfd_eval::{
     evaluate_per_relation, evaluate_ranking, train_with_early_stopping, EarlyStopping,
@@ -23,9 +24,9 @@ use kgfd_kg::{
 };
 use std::error::Error;
 use std::fs::File;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 type CmdResult = Result<String, Box<dyn Error>>;
 
@@ -46,9 +47,16 @@ COMMANDS:
             [--dim 32] [--epochs 30] [--lr 0.01] [--loss <margin|bce>]
             [--negatives 4] [--adversarial <TEMP>] [--seed 0]
             [--threads <N>] [--valid <TSV> --early-stop]
+            [--checkpoint-every <N>] [--resume] [--deadline <SECS>]
             train an embedding model and save it; --threads splits each
             mini-batch across N workers (results are bit-identical for
-            any N; defaults to KGFD_THREADS or the CPU count, capped at 8)
+            any N; defaults to KGFD_THREADS or the CPU count, capped at 8).
+            --checkpoint-every N atomically writes a checksummed training
+            checkpoint next to --out every N epochs; --resume restarts from
+            the newest valid checkpoint (falling back past corrupt ones) and
+            the completed run is bit-identical to an uninterrupted one;
+            --deadline stops gracefully at the next epoch boundary after
+            SECS seconds, saving a final checkpoint (exit code 6)
   eval      --train <TSV> --test <TSV> --model-file <FILE> [--valid <TSV>]
             [--per-relation]
             filtered link-prediction metrics (MRR, Hits@k)
@@ -89,6 +97,7 @@ EXIT CODES:
   3 corrupt model file (bad magic, checksum mismatch, truncation)
   4 unsupported model format version
   5 model file needs migration (v1 TransE: retrain and re-save)
+  6 training interrupted by --deadline; checkpoint saved, rerun with --resume
 ";
 
 /// Maps an error returned by [`run`] to the `kgfd` process exit code.
@@ -100,6 +109,9 @@ EXIT CODES:
 pub fn exit_code(err: &(dyn Error + 'static)) -> i32 {
     let mut current: Option<&(dyn Error + 'static)> = Some(err);
     while let Some(e) = current {
+        if e.downcast_ref::<Interrupted>().is_some() {
+            return 6;
+        }
         if let Some(kg) = e.downcast_ref::<KgError>() {
             return match kg {
                 KgError::Corrupt(_) => 3,
@@ -112,6 +124,38 @@ pub fn exit_code(err: &(dyn Error + 'static)) -> i32 {
     }
     1
 }
+
+/// Training stopped cooperatively (the `--deadline` expired) before all
+/// epochs ran. Not a failure — the final checkpoint is on disk and
+/// `--resume` continues bit-identically — but the model at `--out` was NOT
+/// (re)written, so the condition surfaces as exit code 6 rather than 0.
+#[derive(Debug)]
+pub struct Interrupted {
+    /// Epochs completed before the stop was honoured.
+    pub epochs_done: usize,
+    /// Checkpoint holding the interrupted state, when one could be written.
+    pub checkpoint: Option<PathBuf>,
+}
+
+impl std::fmt::Display for Interrupted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "training interrupted after {} epoch(s)",
+            self.epochs_done
+        )?;
+        match &self.checkpoint {
+            Some(path) => write!(
+                f,
+                "; checkpoint saved to {} — rerun with --resume to continue",
+                path.display()
+            ),
+            None => write!(f, "; no checkpoint was written"),
+        }
+    }
+}
+
+impl Error for Interrupted {}
 
 /// Installs the observer the `--metrics-out` / `--progress` / `--quiet`
 /// flags ask for; the guard restores the previous observer when dropped.
@@ -472,6 +516,28 @@ fn cmd_train(args: &Args) -> CmdResult {
         .validate()
         .map_err(|e| format!("invalid training configuration: {e}"))?;
 
+    let checkpoint_every: usize = args.parse_or("checkpoint-every", 0, "integer")?;
+    let resume = args.flag("resume");
+    let deadline_s: Option<f64> = match optional_value(args, "deadline")? {
+        Some(raw) => Some(raw.parse().map_err(|_| ArgError::Invalid {
+            key: "deadline".into(),
+            value: raw,
+            expected: "number of seconds",
+        })?),
+        None => None,
+    };
+    let checkpointing = checkpoint_every > 0 || resume || deadline_s.is_some();
+    if checkpointing && args.flag("early-stop") {
+        return Err(
+            "--early-stop cannot be combined with --checkpoint-every/--resume/--deadline \
+             (early stopping keeps its best-so-far parameters in memory, which a \
+             checkpoint cannot capture yet)"
+                .into(),
+        );
+    }
+    let out = args.required("out")?;
+
+    let mut resumed_from: Option<String> = None;
     let (model, summary, final_loss): (Box<dyn KgeModel>, String, Option<f64>) =
         if args.flag("early-stop") {
             let valid_path = args
@@ -488,6 +554,55 @@ fn cmd_train(args: &Args) -> CmdResult {
                 ),
                 None,
             )
+        } else if checkpointing {
+            let (mut session, report) = if resume {
+                resume_latest(kind, &store, &config, Path::new(out))?
+            } else {
+                (
+                    TrainSession::new(kind, &store, &config)
+                        .map_err(|e| format!("cannot start training: {e}"))?,
+                    ResumeReport::default(),
+                )
+            };
+            resumed_from = report
+                .resumed_from
+                .as_ref()
+                .map(|p| p.display().to_string());
+            let policy = CheckpointPolicy::new(PathBuf::from(out), checkpoint_every);
+            let stop = deadline_s.map(|s| StopSignal::with_deadline(Duration::from_secs_f64(s)));
+            let outcome = session.run(Some(&policy), stop.as_ref())?;
+            if let TrainOutcome::Interrupted {
+                epochs_done,
+                checkpoint,
+            } = outcome
+            {
+                emit_train_manifest(
+                    kind,
+                    &config,
+                    &store,
+                    start,
+                    None,
+                    resumed_from,
+                    checkpoint_every,
+                    Some(epochs_done),
+                );
+                return Err(Interrupted {
+                    epochs_done,
+                    checkpoint,
+                }
+                .into());
+            }
+            let (model, stats) = session.into_model();
+            let loss = stats.final_loss();
+            (
+                model,
+                format!(
+                    "final training loss {} over {} epochs",
+                    render_loss(loss),
+                    config.epochs
+                ),
+                Some(loss),
+            )
         } else {
             let (model, stats) = train(kind, &store, &config);
             let loss = stats.final_loss();
@@ -502,22 +617,70 @@ fn cmd_train(args: &Args) -> CmdResult {
             )
         };
 
-    let out = args.required("out")?;
     // Atomic temp-file + rename: an interrupted `kgfd train` can never
     // leave a partial (and thus unloadable) model file at --out.
     write_model_file(out, model.as_ref())?;
+    if checkpointing {
+        // The run completed and the model is durable — the intermediate
+        // checkpoints have served their purpose.
+        for (_, path) in checkpoint_paths(Path::new(out)) {
+            let _ = std::fs::remove_file(path);
+        }
+    }
 
+    emit_train_manifest(
+        kind,
+        &config,
+        &store,
+        start,
+        final_loss,
+        resumed_from,
+        checkpoint_every,
+        None,
+    );
+
+    Ok(format!(
+        "trained {kind} (dim {}, {} parameters) on {} triples\n{summary}\nsaved to {out}",
+        config.dim,
+        model.params().num_parameters(),
+        store.len(),
+    ))
+}
+
+/// Emits the `train` RunManifest — shared by the completed and interrupted
+/// paths so an interrupted run still leaves a machine-readable record (with
+/// `epochs_done` showing where it stopped).
+#[allow(clippy::too_many_arguments)]
+fn emit_train_manifest(
+    kind: ModelKind,
+    config: &TrainConfig,
+    store: &TripleStore,
+    start: Instant,
+    final_loss: Option<f64>,
+    resumed_from: Option<String>,
+    checkpoint_every: usize,
+    interrupted_at: Option<usize>,
+) {
     let mut manifest = kgfd_obs::RunManifest::new("train");
     manifest.model = kind.to_string();
     manifest.seed = config.seed;
-    manifest.dataset = dataset_shape(&store);
+    manifest.dataset = dataset_shape(store);
     manifest.wall_clock_s = start.elapsed().as_secs_f64();
+    manifest.resumed_from = resumed_from;
     manifest = manifest
         .with_config("dim", config.dim)
         .with_config("epochs", config.epochs)
         .with_config("batch_size", config.batch_size)
         .with_config("negatives", config.negatives)
         .with_config("threads", config.threads);
+    if checkpoint_every > 0 {
+        manifest = manifest.with_config("checkpoint_every", checkpoint_every);
+    }
+    if let Some(epochs_done) = interrupted_at {
+        manifest = manifest
+            .with_config("interrupted", true)
+            .with_config("epochs_done", epochs_done);
+    }
     if let Some(loss) = final_loss {
         // NaN (zero-epoch run) is reported as text, never NaN-in-JSON.
         manifest = if loss.is_finite() {
@@ -527,13 +690,6 @@ fn cmd_train(args: &Args) -> CmdResult {
         };
     }
     manifest.emit();
-
-    Ok(format!(
-        "trained {kind} (dim {}, {} parameters) on {} triples\n{summary}\nsaved to {out}",
-        config.dim,
-        model.params().num_parameters(),
-        store.len(),
-    ))
 }
 
 fn load_model_file(path: &str) -> Result<Box<dyn KgeModel>, Box<dyn Error>> {

@@ -1,0 +1,170 @@
+//! Kill-and-resume integration tests against the real `kgfd` binary: a
+//! training process is SIGKILLed mid-run, resumed with `--resume`, and the
+//! final model file must be byte-for-byte identical to one from a run that
+//! was never interrupted — including across different `--threads` values.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+fn kgfd() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_kgfd"))
+}
+
+fn tempdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("kgfd-kill-test-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn generate_toy(dir: &Path) {
+    let status = kgfd()
+        .args(["generate", "--profile", "toy", "--out"])
+        .arg(dir)
+        .status()
+        .unwrap();
+    assert!(status.success());
+}
+
+fn train_args(dir: &Path, out: &Path, threads: usize) -> Vec<String> {
+    [
+        "train",
+        "--train",
+        &format!("{}/train.tsv", dir.display()),
+        "--model",
+        "complex",
+        "--dim",
+        "16",
+        "--epochs",
+        "60",
+        "--seed",
+        "11",
+        "--threads",
+        &threads.to_string(),
+        "--out",
+        &format!("{}", out.display()),
+    ]
+    .map(String::from)
+    .to_vec()
+}
+
+fn checkpoints_beside(out: &Path) -> Vec<PathBuf> {
+    let prefix = format!("{}.ckpt-", out.file_name().unwrap().to_string_lossy());
+    let mut found: Vec<PathBuf> = std::fs::read_dir(out.parent().unwrap())
+        .unwrap()
+        .flatten()
+        .filter(|e| e.file_name().to_string_lossy().starts_with(&prefix))
+        .map(|e| e.path())
+        .collect();
+    found.sort();
+    found
+}
+
+/// SIGKILL mid-training, then `--resume`: the resumed run's model file is
+/// bit-identical to an uninterrupted run's — even though the uninterrupted
+/// reference trains with a different thread count.
+#[test]
+fn sigkill_then_resume_reproduces_an_uninterrupted_run_byte_for_byte() {
+    let dir = tempdir("sigkill");
+    generate_toy(&dir);
+
+    // Uninterrupted reference at 4 threads.
+    let reference = dir.join("reference.kgfd");
+    let status = kgfd()
+        .args(train_args(&dir, &reference, 4))
+        .status()
+        .unwrap();
+    assert!(status.success());
+
+    // The victim: checkpoint every epoch, killed as soon as one exists.
+    let victim = dir.join("victim.kgfd");
+    let mut child = kgfd()
+        .args(train_args(&dir, &victim, 1))
+        .args(["--checkpoint-every", "1"])
+        .spawn()
+        .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if !checkpoints_beside(&victim).is_empty() {
+            break; // at least one boundary is durable — kill now
+        }
+        if child.try_wait().unwrap().is_some() {
+            break; // tiny dataset: the run can finish before we catch it
+        }
+        assert!(Instant::now() < deadline, "no checkpoint appeared in 60s");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let _ = child.kill(); // SIGKILL — no cleanup, no final write
+    let _ = child.wait();
+
+    // Resume (idempotent if the victim actually finished) and compare.
+    let status = kgfd()
+        .args(train_args(&dir, &victim, 1))
+        .args(["--checkpoint-every", "1", "--resume"])
+        .status()
+        .unwrap();
+    assert!(status.success());
+    assert_eq!(
+        std::fs::read(&reference).unwrap(),
+        std::fs::read(&victim).unwrap(),
+        "resumed model file must match the uninterrupted reference exactly"
+    );
+    assert!(
+        checkpoints_beside(&victim).is_empty(),
+        "completed run must clean up its checkpoints"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An expired `--deadline` stops the run cooperatively: exit code 6, a
+/// checkpoint on disk, no model at `--out`; `--resume` then completes with
+/// exit 0 and the reference bytes.
+#[test]
+fn deadline_interrupt_exits_6_and_resume_completes() {
+    let dir = tempdir("deadline");
+    generate_toy(&dir);
+
+    let reference = dir.join("reference.kgfd");
+    let status = kgfd()
+        .args(train_args(&dir, &reference, 1))
+        .status()
+        .unwrap();
+    assert!(status.success());
+
+    // A zero-second deadline trips before the first epoch.
+    let out = dir.join("interrupted.kgfd");
+    let output = kgfd()
+        .args(train_args(&dir, &out, 1))
+        .args(["--checkpoint-every", "1", "--deadline", "0"])
+        .output()
+        .unwrap();
+    assert_eq!(
+        output.status.code(),
+        Some(6),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert!(!out.exists(), "an interrupted run must not write --out");
+    assert!(
+        !checkpoints_beside(&out).is_empty(),
+        "the interrupt must leave a checkpoint behind"
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("--resume"),
+        "the error must point at --resume: {stderr}"
+    );
+
+    let status = kgfd()
+        .args(train_args(&dir, &out, 1))
+        .args(["--checkpoint-every", "1", "--resume"])
+        .status()
+        .unwrap();
+    assert!(status.success());
+    assert_eq!(
+        std::fs::read(&reference).unwrap(),
+        std::fs::read(&out).unwrap()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

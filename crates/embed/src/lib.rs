@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+mod checkpoint;
 mod loss;
 pub mod math;
 mod model;
@@ -36,15 +37,20 @@ mod trainer;
 
 pub mod init;
 
+pub use checkpoint::{
+    checkpoint_paths, config_fingerprint, read_checkpoint_file, resume_latest, write_checkpoint,
+    CheckpointPolicy, ResumeReport, TrainCheckpoint, CHECKPOINT_VERSION,
+};
 pub use loss::{LossKind, PairLoss};
 pub use model::{KgeModel, ModelConfig, ModelKind};
 pub use models::new_model;
 pub use negative::{CorruptSide, NegativeSampler};
-pub use optim::{Optimizer, OptimizerKind};
+pub use optim::{Optimizer, OptimizerKind, OptimizerState};
 pub use params::{Gradients, ParamTable, Parameters, ENTITY_TABLE, RELATION_TABLE};
 pub use persist::{
     crc32, load_model, read_model_file, save_model, write_model_file, FORMAT_VERSION,
 };
 pub use trainer::{
-    negative_stream, train, train_into, TrainConfig, TrainConfigError, TrainStats, SHARD_SIZE,
+    negative_stream, train, train_into, StopSignal, TrainConfig, TrainConfigError, TrainOutcome,
+    TrainSession, TrainStats, SHARD_SIZE,
 };

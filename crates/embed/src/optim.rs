@@ -6,7 +6,57 @@
 //! updated, which is the standard "sparse Adam" arrangement for embeddings.
 
 use crate::{Gradients, ParamTable, Parameters};
+use kgfd_kg::KgError;
 use serde::{Deserialize, Serialize};
+
+/// A complete snapshot of an optimizer's mutable state — everything beyond
+/// the [`OptimizerKind`] configuration that influences future updates. The
+/// checkpoint format persists this verbatim so a resumed run applies
+/// *exactly* the update a straight-through run would have applied (Adam's
+/// bias-correction step counter `t` and both moment tables included).
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptimizerState {
+    /// SGD carries no state.
+    Sgd,
+    /// Adagrad's per-parameter squared-gradient accumulators.
+    Adagrad {
+        /// Accumulator tables, shaped like the model parameters.
+        accum: Vec<ParamTable>,
+    },
+    /// Adam's step counter and moment estimates.
+    Adam {
+        /// Number of optimizer steps taken (drives bias correction).
+        t: u64,
+        /// First-moment tables, shaped like the model parameters.
+        m: Vec<ParamTable>,
+        /// Second-moment tables, shaped like the model parameters.
+        v: Vec<ParamTable>,
+    },
+}
+
+impl OptimizerState {
+    /// `true` if this state snapshot matches the optimizer configuration
+    /// (an Adam checkpoint cannot restore into an SGD run, etc.).
+    pub fn matches(&self, kind: OptimizerKind) -> bool {
+        matches!(
+            (self, kind),
+            (OptimizerState::Sgd, OptimizerKind::Sgd { .. })
+                | (
+                    OptimizerState::Adagrad { .. },
+                    OptimizerKind::Adagrad { .. }
+                )
+                | (OptimizerState::Adam { .. }, OptimizerKind::Adam { .. })
+        )
+    }
+}
+
+fn shapes_mirror(tables: &[ParamTable], params: &Parameters) -> bool {
+    tables.len() == params.num_tables()
+        && tables
+            .iter()
+            .zip(params.tables())
+            .all(|(s, p)| s.rows() == p.rows() && s.cols() == p.cols())
+}
 
 /// Optimizer configuration; build a stateful optimizer with
 /// [`OptimizerKind::build`].
@@ -51,6 +101,57 @@ impl OptimizerKind {
         }
     }
 
+    /// Instantiates an optimizer whose mutable state is restored from a
+    /// checkpointed snapshot instead of zero-initialized. The snapshot must
+    /// belong to the same optimizer kind and mirror `params`' table shapes;
+    /// both are validated here because a checkpoint that passed its checksum
+    /// can still be paired with the wrong model by a confused caller.
+    pub fn build_with_state(
+        self,
+        params: &Parameters,
+        state: OptimizerState,
+    ) -> Result<Box<dyn Optimizer>, KgError> {
+        if !state.matches(self) {
+            return Err(KgError::Corrupt(format!(
+                "optimizer state snapshot does not match the configured optimizer {self:?}"
+            )));
+        }
+        let check = |tables: &[ParamTable], what: &str| -> Result<(), KgError> {
+            if shapes_mirror(tables, params) {
+                Ok(())
+            } else {
+                Err(KgError::Corrupt(format!(
+                    "optimizer {what} tables do not mirror the model parameter shapes"
+                )))
+            }
+        };
+        match (self, state) {
+            (OptimizerKind::Sgd { lr }, OptimizerState::Sgd) => Ok(Box::new(Sgd { lr })),
+            (OptimizerKind::Adagrad { lr }, OptimizerState::Adagrad { accum }) => {
+                check(&accum, "accumulator")?;
+                Ok(Box::new(Adagrad {
+                    lr,
+                    eps: 1e-10,
+                    accum,
+                }))
+            }
+            (OptimizerKind::Adam { lr }, OptimizerState::Adam { t, m, v }) => {
+                check(&m, "first-moment")?;
+                check(&v, "second-moment")?;
+                Ok(Box::new(Adam {
+                    lr,
+                    beta1: 0.9,
+                    beta2: 0.999,
+                    eps: 1e-8,
+                    t,
+                    m,
+                    v,
+                }))
+            }
+            _ => unreachable!("matches() filtered mismatched pairs"),
+        }
+    }
+
     /// The configured learning rate.
     pub fn learning_rate(self) -> f32 {
         match self {
@@ -74,6 +175,11 @@ fn mirror(params: &Parameters) -> Vec<ParamTable> {
 pub trait Optimizer: Send {
     /// Applies one update for the accumulated batch gradients.
     fn step(&mut self, params: &mut Parameters, grads: &Gradients);
+
+    /// Snapshots the optimizer's mutable state for checkpointing; feed it
+    /// back through [`OptimizerKind::build_with_state`] to resume with the
+    /// exact same future updates.
+    fn export_state(&self) -> OptimizerState;
 }
 
 struct Sgd {
@@ -86,6 +192,10 @@ impl Optimizer for Sgd {
             let row = params.table_mut(table).row_mut(row);
             crate::math::add_scaled(row, g, -self.lr);
         }
+    }
+
+    fn export_state(&self) -> OptimizerState {
+        OptimizerState::Sgd
     }
 }
 
@@ -104,6 +214,12 @@ impl Optimizer for Adagrad {
                 *ai += gi * gi;
                 *pi -= self.lr * gi / (ai.sqrt() + self.eps);
             }
+        }
+    }
+
+    fn export_state(&self) -> OptimizerState {
+        OptimizerState::Adagrad {
+            accum: self.accum.clone(),
         }
     }
 }
@@ -134,6 +250,14 @@ impl Optimizer for Adam {
                 let v_hat = *vi / bc2;
                 *pi -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
             }
+        }
+    }
+
+    fn export_state(&self) -> OptimizerState {
+        OptimizerState::Adam {
+            t: self.t,
+            m: self.m.clone(),
+            v: self.v.clone(),
         }
     }
 }
@@ -193,5 +317,72 @@ mod tests {
     #[test]
     fn learning_rate_accessor() {
         assert_eq!(OptimizerKind::Adam { lr: 0.02 }.learning_rate(), 0.02);
+    }
+
+    /// State export + restore must reproduce the exact future update
+    /// sequence: run K steps, snapshot, run K more; versus restore-from-
+    /// snapshot and run the same K more. Bitwise equal for every kind.
+    #[test]
+    fn state_roundtrip_resumes_bit_identically() {
+        for kind in [
+            OptimizerKind::Sgd { lr: 0.1 },
+            OptimizerKind::Adagrad { lr: 0.5 },
+            OptimizerKind::Adam { lr: 0.1 },
+        ] {
+            let mut params = quadratic_params();
+            let mut opt = kind.build(&params);
+            let grad_of = |params: &Parameters| {
+                let mut g = Gradients::new();
+                let x = params.table(0).row(0).to_vec();
+                g.add(0, 0, &[2.0 * x[0], 2.0 * x[1]], 1.0);
+                g
+            };
+            for _ in 0..7 {
+                let g = grad_of(&params);
+                opt.step(&mut params, &g);
+            }
+            let snapshot = opt.export_state();
+            let params_snapshot = params.clone();
+
+            for _ in 0..7 {
+                let g = grad_of(&params);
+                opt.step(&mut params, &g);
+            }
+
+            let mut resumed_params = params_snapshot;
+            let mut resumed = kind.build_with_state(&resumed_params, snapshot).unwrap();
+            for _ in 0..7 {
+                let g = grad_of(&resumed_params);
+                resumed.step(&mut resumed_params, &g);
+            }
+            assert_eq!(
+                params.table(0).data(),
+                resumed_params.table(0).data(),
+                "{kind:?} must resume bit-identically"
+            );
+        }
+    }
+
+    #[test]
+    fn mismatched_state_kind_is_rejected() {
+        let params = quadratic_params();
+        let err = OptimizerKind::Adam { lr: 0.1 }
+            .build_with_state(&params, OptimizerState::Sgd)
+            .err()
+            .expect("kind mismatch accepted");
+        assert!(matches!(err, KgError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn mismatched_state_shape_is_rejected() {
+        let params = quadratic_params();
+        let wrong = OptimizerState::Adagrad {
+            accum: vec![ParamTable::zeros(3, 9)],
+        };
+        let err = OptimizerKind::Adagrad { lr: 0.1 }
+            .build_with_state(&params, wrong)
+            .err()
+            .expect("shape mismatch accepted");
+        assert!(err.to_string().contains("mirror"), "{err}");
     }
 }

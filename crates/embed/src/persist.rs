@@ -326,30 +326,35 @@ fn tmp_sibling(path: &Path) -> PathBuf {
     ))
 }
 
-/// Atomically writes `model` to `path`: serialize to a unique temp sibling,
-/// fsync, then rename over the destination. Readers therefore observe
-/// either the previous file or the complete new one — never a partial
-/// write — and concurrent writers (threads or processes) cannot interleave.
-/// Parent directories are created as needed.
-pub fn write_model_file(path: impl AsRef<Path>, model: &dyn KgeModel) -> Result<()> {
-    let path = path.as_ref();
+/// Atomically writes `bytes` to `path`: write a unique temp sibling, fsync,
+/// then rename over the destination. Readers therefore observe either the
+/// previous file or the complete new one — never a partial write — and
+/// concurrent writers (threads or processes) cannot interleave. Parent
+/// directories are created as needed. Shared by the model writer below and
+/// the training-checkpoint writer.
+pub(crate) fn write_bytes_atomic(path: &Path, bytes: &[u8]) -> Result<()> {
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
             std::fs::create_dir_all(parent)?;
         }
     }
-    let bytes = save_model(model);
     let tmp = tmp_sibling(path);
     let cleanup = |e: std::io::Error| {
         let _ = std::fs::remove_file(&tmp);
         KgError::Io(e)
     };
     let mut file = std::fs::File::create(&tmp).map_err(KgError::Io)?;
-    file.write_all(&bytes)
+    file.write_all(bytes)
         .and_then(|()| file.sync_all())
         .map_err(cleanup)?;
     drop(file);
     std::fs::rename(&tmp, path).map_err(cleanup)
+}
+
+/// Atomically writes `model` to `path` (see [`write_bytes_atomic`] for the
+/// crash-safety guarantees).
+pub fn write_model_file(path: impl AsRef<Path>, model: &dyn KgeModel) -> Result<()> {
+    write_bytes_atomic(path.as_ref(), &save_model(model))
 }
 
 /// Reads and verifies a model file written by [`write_model_file`] /

@@ -28,14 +28,16 @@
 //! The differential suite in `tests/determinism.rs` locks the contract in.
 
 use crate::{
-    new_model, CorruptSide, Gradients, KgeModel, LossKind, ModelKind, NegativeSampler,
+    new_model, CorruptSide, Gradients, KgeModel, LossKind, ModelKind, NegativeSampler, Optimizer,
     OptimizerKind, ENTITY_TABLE,
 };
-use kgfd_kg::{Triple, TripleStore};
+use kgfd_kg::{KgError, Triple, TripleStore};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Positives per logical shard. A fixed constant — the shard structure (and
@@ -300,44 +302,93 @@ pub fn train_into(
     if let Err(e) = config.validate() {
         panic!("invalid TrainConfig: {e}");
     }
-    let reciprocal = model.reciprocal();
-    let num_relations = model.num_relations() as u32;
-    let mut triples: Vec<Triple> = store.triples().to_vec();
-    if reciprocal {
-        let inverses: Vec<Triple> = triples
-            .iter()
-            .map(|t| t.inverted_as((t.relation.0 + num_relations).into()))
-            .collect();
-        triples.extend(inverses);
-    }
-    let corrupt_side = if reciprocal {
-        CorruptSide::Object
-    } else {
-        CorruptSide::Both
-    };
-    let filter = if config.filter_negatives {
-        Some(store)
-    } else {
-        None
-    };
-
+    let mut core = TrainerCore::new(model, store, config);
     let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(1));
-    let sampler = NegativeSampler::new(store.num_entities());
     let mut optimizer = config.optimizer.build(model.params());
-    let threads = config.threads;
-    // Shard buffers and the batch accumulator outlive the epoch loop so the
-    // HashMap allocations are reused across batches.
-    let mut outputs: Vec<ShardOutput> = Vec::new();
-    let mut grads = Gradients::new();
     let mut epoch_losses = Vec::with_capacity(config.epochs);
-
     for epoch in 0..config.epochs {
+        epoch_losses.push(core.run_epoch(model, optimizer.as_mut(), &mut rng, epoch));
+    }
+    TrainStats { epoch_losses }
+}
+
+/// The reusable inside of the training loop: the augmented triple list
+/// (whose order carries over between epochs — each epoch shuffles the
+/// previous epoch's order), the negative sampler, and the per-shard scratch
+/// buffers. One [`TrainerCore::run_epoch`] call is exactly one epoch of the
+/// historical `train_into` loop; `train_into`, [`TrainSession`], and early
+/// stopping all drive this same code path, which is what makes their
+/// results mutually bit-identical.
+struct TrainerCore<'a> {
+    store: &'a TripleStore,
+    config: TrainConfig,
+    /// Training triples (reciprocal-augmented for ConvE-style models),
+    /// shuffled in place at the top of every epoch.
+    triples: Vec<Triple>,
+    corrupt_side: CorruptSide,
+    sampler: NegativeSampler,
+    /// Shard buffers and the batch accumulator outlive the epoch loop so
+    /// the HashMap allocations are reused across batches.
+    outputs: Vec<ShardOutput>,
+    grads: Gradients,
+}
+
+impl<'a> TrainerCore<'a> {
+    fn new(model: &dyn KgeModel, store: &'a TripleStore, config: &TrainConfig) -> Self {
+        let reciprocal = model.reciprocal();
+        let num_relations = model.num_relations() as u32;
+        let mut triples: Vec<Triple> = store.triples().to_vec();
+        if reciprocal {
+            let inverses: Vec<Triple> = triples
+                .iter()
+                .map(|t| t.inverted_as((t.relation.0 + num_relations).into()))
+                .collect();
+            triples.extend(inverses);
+        }
+        let corrupt_side = if reciprocal {
+            CorruptSide::Object
+        } else {
+            CorruptSide::Both
+        };
+        TrainerCore {
+            store,
+            config: config.clone(),
+            triples,
+            corrupt_side,
+            sampler: NegativeSampler::new(store.num_entities()),
+            outputs: Vec::new(),
+            grads: Gradients::new(),
+        }
+    }
+
+    /// Runs epoch number `epoch` (the index keys the shard RNG streams, so
+    /// it must be the *absolute* epoch — a resumed session continues the
+    /// numbering where the checkpoint left off).
+    fn run_epoch(
+        &mut self,
+        model: &mut dyn KgeModel,
+        optimizer: &mut dyn Optimizer,
+        rng: &mut StdRng,
+        epoch: usize,
+    ) -> f64 {
+        let config = &self.config;
+        let corrupt_side = self.corrupt_side;
+        let sampler = &self.sampler;
+        let triples = &mut self.triples;
+        let outputs = &mut self.outputs;
+        let grads = &mut self.grads;
+        let filter = if config.filter_negatives {
+            Some(self.store)
+        } else {
+            None
+        };
+        let threads = config.threads;
         // Trace-only (no event, no histogram): the per-epoch metrics below
         // already cover the event stream; this span exists to parent the
         // batch/shard tree in trace exports.
         let _epoch_span = kgfd_obs::span_traced!("embed.train.epoch", epoch = epoch);
         let epoch_start = Instant::now();
-        triples.shuffle(&mut rng);
+        triples.shuffle(rng);
         let mut loss_sum = 0.0f64;
         let mut pairs = 0u64;
         let mut worker_sampling = vec![Duration::ZERO; threads];
@@ -378,7 +429,7 @@ pub fn train_into(
                         stream,
                         corrupt_side,
                         filter,
-                        &sampler,
+                        sampler,
                         config,
                         out,
                     );
@@ -465,7 +516,7 @@ pub fn train_into(
             } else {
                 Vec::new()
             };
-            optimizer.step(model.params_mut(), &grads);
+            optimizer.step(model.params_mut(), grads);
             if config.normalize_entities {
                 let table = model.params_mut().table_mut(ENTITY_TABLE);
                 for row in touched {
@@ -478,7 +529,6 @@ pub fn train_into(
         } else {
             loss_sum / pairs as f64
         };
-        epoch_losses.push(mean_loss);
 
         let sampling: Duration = worker_sampling.iter().sum();
         let wall = epoch_start.elapsed();
@@ -510,9 +560,254 @@ pub fn train_into(
             sampling.as_micros() as f64,
             epoch_fields,
         );
+        kgfd_obs::counter("embed.train.epochs").add(1);
+        mean_loss
     }
-    kgfd_obs::counter("embed.train.epochs").add(config.epochs as u64);
-    TrainStats { epoch_losses }
+}
+
+/// A cooperative stop request for long training runs — the "SIGTERM" story
+/// of a dependency-free binary. The flag can be raised from any thread (or
+/// armed with a wall-clock deadline up front); [`TrainSession::run`] checks
+/// it at every epoch boundary, writes a final checkpoint, and returns
+/// [`TrainOutcome::Interrupted`] instead of training on. Signal handlers
+/// proper would need `libc`, which the offline build intentionally avoids.
+#[derive(Clone, Debug, Default)]
+pub struct StopSignal {
+    flag: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl StopSignal {
+    /// A signal nobody has raised yet.
+    pub fn new() -> Self {
+        StopSignal::default()
+    }
+
+    /// A signal that trips automatically once `budget` of wall-clock time
+    /// has elapsed (measured from this call).
+    pub fn with_deadline(budget: Duration) -> Self {
+        StopSignal {
+            flag: Arc::new(AtomicBool::new(false)),
+            deadline: Instant::now().checked_add(budget),
+        }
+    }
+
+    /// Raises the stop flag; every clone of this signal observes it.
+    pub fn request_stop(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// `true` once the flag is raised or the deadline has passed.
+    pub fn should_stop(&self) -> bool {
+        self.flag.load(Ordering::SeqCst) || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
+
+/// How a [`TrainSession::run`] call ended.
+#[derive(Debug)]
+pub enum TrainOutcome {
+    /// All configured epochs ran.
+    Completed,
+    /// A [`StopSignal`] tripped at an epoch boundary. When a checkpoint
+    /// policy was in effect the session's state was checkpointed at the
+    /// boundary, so a later `--resume` continues bit-identically.
+    Interrupted {
+        /// Epochs completed before the stop was honoured.
+        epochs_done: usize,
+        /// The checkpoint written at the stop boundary, if a policy was set.
+        checkpoint: Option<std::path::PathBuf>,
+    },
+}
+
+/// A resumable training run: the model, optimizer, and epoch-shuffle RNG as
+/// one unit of state that can be advanced epoch by epoch, snapshotted into
+/// a [`crate::TrainCheckpoint`], and — after a crash — reconstructed at the
+/// exact epoch boundary it last checkpointed.
+///
+/// Driving this session to completion is bit-identical to a single
+/// [`train`] call with the same configuration (both run [`TrainerCore`]),
+/// and resuming from any epoch boundary is bit-identical to never having
+/// stopped — the contract the checkpoint differential suite enforces.
+pub struct TrainSession<'a> {
+    core: TrainerCore<'a>,
+    model: Box<dyn KgeModel>,
+    optimizer: Box<dyn Optimizer>,
+    rng: StdRng,
+    epochs_done: usize,
+    epoch_losses: Vec<f64>,
+}
+
+impl<'a> TrainSession<'a> {
+    /// Starts a fresh session (epoch 0, seeded init) for `kind` on `store`.
+    pub fn new(
+        kind: ModelKind,
+        store: &'a TripleStore,
+        config: &TrainConfig,
+    ) -> Result<Self, KgError> {
+        config
+            .validate()
+            .map_err(|e| KgError::Invariant(format!("invalid TrainConfig: {e}")))?;
+        let model = new_model(
+            kind,
+            store.num_entities(),
+            store.num_relations(),
+            config.dim,
+            config.seed,
+        );
+        Self::assemble(model, store, config, None, 0, Vec::new())
+    }
+
+    /// Reconstructs a session from checkpointed state: a trained-so-far
+    /// model, its optimizer state, and the number of epochs already done.
+    /// The epoch-shuffle stream is restored by replaying the shuffles of the
+    /// completed epochs (the triple order entering epoch *k* is the
+    /// cumulative permutation of epochs `0..k`, so both the order and the
+    /// RNG position fall out of the replay); `expected_rng_state` — the
+    /// stream position the checkpoint recorded — is then cross-checked so
+    /// any drift in the RNG or shuffle implementation is caught loudly
+    /// instead of silently diverging from the uninterrupted run.
+    pub fn resume(
+        model: Box<dyn KgeModel>,
+        store: &'a TripleStore,
+        config: &TrainConfig,
+        optimizer_state: crate::OptimizerState,
+        epochs_done: usize,
+        epoch_losses: Vec<f64>,
+        expected_rng_state: [u64; 4],
+    ) -> Result<Self, KgError> {
+        config
+            .validate()
+            .map_err(|e| KgError::Invariant(format!("invalid TrainConfig: {e}")))?;
+        if model.num_entities() != store.num_entities()
+            || model.num_relations() != store.num_relations()
+        {
+            return Err(KgError::Corrupt(format!(
+                "checkpointed model shape ({} entities, {} relations) does not match \
+                 the training graph ({} entities, {} relations)",
+                model.num_entities(),
+                model.num_relations(),
+                store.num_entities(),
+                store.num_relations()
+            )));
+        }
+        if epochs_done > config.epochs {
+            return Err(KgError::Corrupt(format!(
+                "checkpoint claims {epochs_done} epochs done but the run only has {}",
+                config.epochs
+            )));
+        }
+        let session = Self::assemble(
+            model,
+            store,
+            config,
+            Some(optimizer_state),
+            epochs_done,
+            epoch_losses,
+        )?;
+        if session.rng.state() != expected_rng_state {
+            return Err(KgError::Corrupt(
+                "replayed epoch-shuffle stream does not reach the checkpointed RNG \
+                 position — the RNG or shuffle implementation has changed since the \
+                 checkpoint was written"
+                    .into(),
+            ));
+        }
+        Ok(session)
+    }
+
+    fn assemble(
+        model: Box<dyn KgeModel>,
+        store: &'a TripleStore,
+        config: &TrainConfig,
+        optimizer_state: Option<crate::OptimizerState>,
+        epochs_done: usize,
+        epoch_losses: Vec<f64>,
+    ) -> Result<Self, KgError> {
+        let mut core = TrainerCore::new(model.as_ref(), store, config);
+        let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(1));
+        // Replay the completed epochs' shuffles so the triple order and the
+        // stream position both land exactly at the resume boundary. O(k·n)
+        // swaps — noise next to a single epoch of training.
+        for _ in 0..epochs_done {
+            core.triples.shuffle(&mut rng);
+        }
+        let optimizer = match optimizer_state {
+            None => config.optimizer.build(model.params()),
+            Some(state) => config.optimizer.build_with_state(model.params(), state)?,
+        };
+        Ok(TrainSession {
+            core,
+            model,
+            optimizer,
+            rng,
+            epochs_done,
+            epoch_losses,
+        })
+    }
+
+    /// Runs the next epoch and returns its mean pair loss.
+    pub fn run_epoch(&mut self) -> f64 {
+        let loss = self.core.run_epoch(
+            self.model.as_mut(),
+            self.optimizer.as_mut(),
+            &mut self.rng,
+            self.epochs_done,
+        );
+        self.epochs_done += 1;
+        self.epoch_losses.push(loss);
+        loss
+    }
+
+    /// Epochs completed so far (across resumes).
+    pub fn epochs_done(&self) -> usize {
+        self.epochs_done
+    }
+
+    /// `true` once all configured epochs have run.
+    pub fn is_complete(&self) -> bool {
+        self.epochs_done >= self.core.config.epochs
+    }
+
+    /// The training configuration this session runs under.
+    pub fn config(&self) -> &TrainConfig {
+        &self.core.config
+    }
+
+    /// The model as trained so far.
+    pub fn model(&self) -> &dyn KgeModel {
+        self.model.as_ref()
+    }
+
+    /// The per-epoch losses so far (including pre-resume epochs).
+    pub fn epoch_losses(&self) -> &[f64] {
+        &self.epoch_losses
+    }
+
+    /// The optimizer's current state snapshot.
+    pub fn optimizer_state(&self) -> crate::OptimizerState {
+        self.optimizer.export_state()
+    }
+
+    /// The epoch-shuffle RNG's current stream position.
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Consumes the session, yielding the trained model and its stats.
+    pub fn into_model(self) -> (Box<dyn KgeModel>, TrainStats) {
+        (
+            self.model,
+            TrainStats {
+                epoch_losses: self.epoch_losses,
+            },
+        )
+    }
+
+    /// Swaps in externally chosen parameters (early stopping keeps the best
+    /// validation checkpoint, not the last epoch's).
+    pub fn set_params(&mut self, params: crate::Parameters) {
+        *self.model.params_mut() = params;
+    }
 }
 
 /// Per-negative loss weights: uniform 1.0, or `k · softmax(α · f(neg))`

@@ -7,7 +7,7 @@
 //! protocol adopted by the KGE literature.
 
 use kgfd_embed::{CorruptSide, KgeModel, NegativeSampler};
-use kgfd_kg::{RelationId, Triple, TripleStore};
+use kgfd_kg::{KgError, RelationId, Result, Triple, TripleStore};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
@@ -22,34 +22,44 @@ pub struct Thresholds {
 impl Thresholds {
     /// Tunes thresholds: for each relation, picks the score cut maximizing
     /// accuracy over `positives` and an equal number of sampled corruptions.
+    ///
+    /// A model that emits a NaN or infinite score fails tuning with
+    /// [`KgError::NonFiniteScore`]: a non-finite value would otherwise
+    /// scramble the threshold search silently (NaN is unordered, so it used
+    /// to derail the candidate sort), and a model producing one is broken in
+    /// a way the caller must hear about.
     pub fn tune(
         model: &dyn KgeModel,
         positives: &[Triple],
         filter: &TripleStore,
         seed: u64,
-    ) -> Self {
+    ) -> Result<Self> {
         let mut rng = StdRng::seed_from_u64(seed);
         let sampler = NegativeSampler::new(model.num_entities());
         let mut by_rel: HashMap<RelationId, Vec<(f32, bool)>> = HashMap::new();
         let mut all: Vec<(f32, bool)> = Vec::with_capacity(positives.len() * 2);
         for &t in positives {
             let neg = sampler.corrupt(t, CorruptSide::Both, Some(filter), &mut rng);
-            let fp = model.score(t);
-            let fn_ = model.score(neg);
-            by_rel.entry(t.relation).or_default().push((fp, true));
-            by_rel.entry(t.relation).or_default().push((fn_, false));
-            all.push((fp, true));
-            all.push((fn_, false));
+            for (f, is_pos) in [(model.score(t), true), (model.score(neg), false)] {
+                if !f.is_finite() {
+                    return Err(KgError::NonFiniteScore {
+                        index: all.len(),
+                        value: f as f64,
+                    });
+                }
+                by_rel.entry(t.relation).or_default().push((f, is_pos));
+                all.push((f, is_pos));
+            }
         }
         let global = best_threshold(&mut all);
         let by_relation = by_rel
             .into_iter()
             .map(|(r, mut scored)| (r, best_threshold(&mut scored)))
             .collect();
-        Thresholds {
+        Ok(Thresholds {
             by_relation,
             global,
-        }
+        })
     }
 
     /// The threshold for `r` (falling back to the global one for relations
@@ -77,11 +87,17 @@ impl Thresholds {
 }
 
 /// Midpoint threshold maximizing accuracy over `(score, is_positive)` pairs.
+///
+/// Sorts with [`f32::total_cmp`]: a total order, so even if a NaN slips past
+/// the caller's validation it lands deterministically at the end of the sort
+/// instead of scrambling it (`partial_cmp(..).unwrap_or(Equal)`, the old
+/// comparator, made NaN compare "equal" to everything — one NaN anywhere
+/// left the slice arbitrarily ordered and the chosen threshold garbage).
 fn best_threshold(scored: &mut [(f32, bool)]) -> f32 {
     if scored.is_empty() {
         return 0.0;
     }
-    scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    scored.sort_by(|a, b| a.0.total_cmp(&b.0));
     let total_pos = scored.iter().filter(|(_, p)| *p).count();
     // Threshold below everything classifies all as positive.
     let mut best_correct = total_pos;
@@ -94,12 +110,25 @@ fn best_threshold(scored: &mut [(f32, bool)]) -> f32 {
         } else {
             neg_below += 1;
         }
-        // Candidate threshold just above scored[i].
+        // Candidate threshold just above scored[i] — which only exists when
+        // the next score is distinct (inside a run of duplicates no cut can
+        // separate them, and pretending one could overstates the accuracy).
+        if i + 1 < scored.len() && scored[i].0 == scored[i + 1].0 {
+            continue;
+        }
         let correct = neg_below + (total_pos - pos_below);
         if correct > best_correct {
             best_correct = correct;
             best_t = if i + 1 < scored.len() {
-                0.5 * (scored[i].0 + scored[i + 1].0)
+                let mid = 0.5 * (scored[i].0 + scored[i + 1].0);
+                // Adjacent floats can round the midpoint back onto
+                // scored[i], which `score >= t` would misclassify; the next
+                // score itself is then the exact cut.
+                if mid > scored[i].0 {
+                    mid
+                } else {
+                    scored[i + 1].0
+                }
             } else {
                 scored[i].0 + 1.0
             };
@@ -138,7 +167,8 @@ mod tests {
             ..TrainConfig::default()
         };
         let (model, _) = train(ModelKind::ComplEx, &data.train, &config);
-        let thresholds = Thresholds::tune(model.as_ref(), data.train.triples(), &data.train, 9);
+        let thresholds =
+            Thresholds::tune(model.as_ref(), data.train.triples(), &data.train, 9).unwrap();
 
         // Labelled evaluation set: train positives + one corruption each.
         let mut rng = StdRng::seed_from_u64(17);
@@ -168,9 +198,127 @@ mod tests {
             },
         );
         let thresholds =
-            Thresholds::tune(model.as_ref(), &data.train.triples()[..4], &data.train, 1);
+            Thresholds::tune(model.as_ref(), &data.train.triples()[..4], &data.train, 1).unwrap();
         // RelationId(99) was never tuned.
         let t = thresholds.for_relation(RelationId(99));
         assert!(t.is_finite());
+    }
+
+    /// A model whose every score is NaN — the pathology the typed error
+    /// exists for.
+    struct NanModel {
+        inner: Box<dyn KgeModel>,
+    }
+
+    impl KgeModel for NanModel {
+        fn kind(&self) -> ModelKind {
+            self.inner.kind()
+        }
+        fn num_entities(&self) -> usize {
+            self.inner.num_entities()
+        }
+        fn num_relations(&self) -> usize {
+            self.inner.num_relations()
+        }
+        fn dim(&self) -> usize {
+            self.inner.dim()
+        }
+        fn config(&self) -> kgfd_embed::ModelConfig {
+            self.inner.config()
+        }
+        fn score(&self, _t: Triple) -> f32 {
+            f32::NAN
+        }
+        fn score_objects(&self, _s: kgfd_kg::EntityId, _r: RelationId, out: &mut [f32]) {
+            out.fill(f32::NAN);
+        }
+        fn score_subjects(&self, _r: RelationId, _o: kgfd_kg::EntityId, out: &mut [f32]) {
+            out.fill(f32::NAN);
+        }
+        fn backward(&self, t: Triple, upstream: f32, grads: &mut kgfd_embed::Gradients) {
+            self.inner.backward(t, upstream, grads)
+        }
+        fn params(&self) -> &kgfd_embed::Parameters {
+            self.inner.params()
+        }
+        fn params_mut(&mut self) -> &mut kgfd_embed::Parameters {
+            self.inner.params_mut()
+        }
+    }
+
+    #[test]
+    fn nan_scores_are_rejected_with_a_typed_error() {
+        let data = toy_biomedical();
+        let (inner, _) = train(
+            ModelKind::DistMult,
+            &data.train,
+            &TrainConfig {
+                epochs: 1,
+                ..TrainConfig::default()
+            },
+        );
+        let model = NanModel { inner };
+        let err = Thresholds::tune(&model, data.train.triples(), &data.train, 1)
+            .map(|_| ())
+            .expect_err("NaN scores must fail tuning");
+        assert!(
+            matches!(err, KgError::NonFiniteScore { index: 0, .. }),
+            "{err}"
+        );
+    }
+
+    /// Exhaustive reference: try a cut below everything and just above every
+    /// score, count accuracy directly.
+    fn brute_force_best_accuracy(scored: &[(f32, bool)]) -> usize {
+        let accuracy_at = |cut: f32| scored.iter().filter(|&&(f, p)| (f >= cut) == p).count();
+        let mut best = accuracy_at(f32::NEG_INFINITY);
+        for &(f, _) in scored {
+            // Thresholds classify via `score >= t`, so "just above f" is the
+            // next representable float.
+            best = best.max(accuracy_at(next_up(f)));
+        }
+        best
+    }
+
+    fn next_up(f: f32) -> f32 {
+        let bits = f.to_bits();
+        f32::from_bits(if f >= 0.0 { bits + 1 } else { bits - 1 })
+    }
+
+    fn accuracy_of(scored: &[(f32, bool)], threshold: f32) -> usize {
+        scored
+            .iter()
+            .filter(|&&(f, p)| (f >= threshold) == p)
+            .count()
+    }
+
+    proptest::proptest! {
+        /// The sort-and-sweep search must achieve exactly the accuracy of an
+        /// exhaustive scan over all candidate cuts, for arbitrary finite
+        /// score/label mixtures (duplicates and sign mixes included).
+        #[test]
+        fn best_threshold_matches_brute_force(
+            scored in proptest::collection::vec(
+                (-100i32..100, proptest::any::<bool>()),
+                1..40,
+            )
+        ) {
+            // Quantized scores force plenty of exact duplicates.
+            let mut scored: Vec<(f32, bool)> = scored
+                .into_iter()
+                .map(|(q, p)| (q as f32 * 0.25, p))
+                .collect();
+            let reference = brute_force_best_accuracy(&scored);
+            let t = best_threshold(&mut scored);
+            let achieved = accuracy_of(&scored, t);
+            proptest::prop_assert_eq!(
+                achieved,
+                reference,
+                "threshold {} achieves {} correct, brute force finds {}",
+                t,
+                achieved,
+                reference
+            );
+        }
     }
 }

@@ -9,8 +9,8 @@
 
 use crate::{DatasetRef, Scale};
 use kgfd_embed::{
-    read_model_file, train, write_model_file, KgeModel, LossKind, ModelKind, OptimizerKind,
-    TrainConfig,
+    checkpoint_paths, read_model_file, resume_latest, train, write_model_file, CheckpointPolicy,
+    KgeModel, LossKind, ModelKind, OptimizerKind, ResumeReport, TrainConfig, TrainSession,
 };
 use kgfd_kg::{Dataset, KgError};
 use std::path::{Path, PathBuf};
@@ -219,12 +219,66 @@ fn obtain(
     }
     let mut config = train_config(dataset, model, scale);
     config.threads = threads.max(1);
-    let (trained, _) = train(model, &data.train, &config);
+    let trained = match train_resumable(model, data, &config, &path) {
+        Ok(trained) => trained,
+        Err(e) => {
+            // Checkpointing is an optimization; a failure there (e.g. the
+            // cache directory is read-only) must not cost the caller the
+            // model. Fall back to a plain in-memory run — bit-identical.
+            kgfd_obs::warn(format!(
+                "zoo: checkpointed training failed ({e}); retraining without checkpoints"
+            ));
+            train(model, &data.train, &config).0
+        }
+    };
     // Atomic temp-file + rename write: concurrent trainers of the same pair
     // each produce identical parameters, so whichever rename lands last
     // leaves a valid, complete entry.
     let cache_err = write_model_file(&path, trained.as_ref()).err();
     (trained, cache_err)
+}
+
+/// Trains through a checkpointed [`TrainSession`], resuming any
+/// half-finished run a killed process left beside the cache entry. Training
+/// is deterministic, so a resumed run is bit-identical to a fresh one; on
+/// success the spent checkpoints are removed.
+fn train_resumable(
+    model: ModelKind,
+    data: &Dataset,
+    config: &TrainConfig,
+    cache_path: &Path,
+) -> Result<Box<dyn KgeModel>, KgError> {
+    let (mut session, _report) = match resume_latest(model, &data.train, config, cache_path) {
+        Ok(resumed) => resumed,
+        Err(KgError::CheckpointMismatch { .. }) => {
+            // A leftover from an older zoo config (the hyperparameter table
+            // changed between versions). It cannot seed this run — discard
+            // it and start fresh, keeping the recovery observable.
+            kgfd_obs::record_recovery(format!(
+                "zoo.ckpt.mismatch: {}: stale checkpoint from a different \
+                 training config (discarded, trained fresh)",
+                cache_path.display()
+            ));
+            for (_, p) in checkpoint_paths(cache_path) {
+                let _ = std::fs::remove_file(p);
+            }
+            (
+                TrainSession::new(model, &data.train, config)?,
+                ResumeReport::default(),
+            )
+        }
+        Err(e) => return Err(e),
+    };
+    // Checkpoint a handful of times per run — enough that a kill loses at
+    // most a quarter of the work, rare enough that writes stay negligible.
+    let every = (config.epochs / 4).max(1);
+    let policy = CheckpointPolicy::new(cache_path.to_path_buf(), every);
+    session.run(Some(&policy), None)?;
+    let (trained, _) = session.into_model();
+    for (_, p) in checkpoint_paths(cache_path) {
+        let _ = std::fs::remove_file(p);
+    }
+    Ok(trained)
 }
 
 #[cfg(test)]
@@ -293,6 +347,47 @@ mod tests {
         assert_eq!(m.num_entities(), data.train.num_entities());
         let reloaded = read_model_file(&path).expect("cache repaired");
         assert_eq!(reloaded.num_entities(), data.train.num_entities());
+        let _ = kgfd_obs::drain_recoveries();
+    }
+
+    /// A trainer killed mid-run leaves a checkpoint beside the cache entry;
+    /// the next `trained_model` call must pick it up, finish the remaining
+    /// epochs bit-identically to an uninterrupted run, and sweep the spent
+    /// checkpoints away.
+    #[test]
+    fn zoo_resumes_a_half_finished_training_run() {
+        let dataset = DatasetRef::Yago310;
+        let data = dataset.load(Scale::Mini);
+        let kind = ModelKind::DistMult;
+        let path = cache_path(dataset, kind, Scale::Mini);
+        let _ = std::fs::remove_file(&path);
+        for (_, p) in checkpoint_paths(&path) {
+            let _ = std::fs::remove_file(p);
+        }
+        let mut config = train_config(dataset, kind, Scale::Mini);
+        config.threads = 1;
+        // Simulate the kill: run half the epochs, checkpoint, abandon.
+        let mut session = TrainSession::new(kind, &data.train, &config).unwrap();
+        for _ in 0..config.epochs / 2 {
+            session.run_epoch();
+        }
+        let policy = CheckpointPolicy::new(path.clone(), 1);
+        session.save_checkpoint(&policy).unwrap();
+        drop(session);
+
+        let resumed = trained_model_threaded(dataset, kind, Scale::Mini, &data, 1);
+        let (plain, _) = train(kind, &data.train, &config);
+        for t in 0..plain.params().num_tables() {
+            assert_eq!(
+                plain.params().table(t).data(),
+                resumed.params().table(t).data(),
+                "table {t}: resumed training must match an uninterrupted run bitwise"
+            );
+        }
+        assert!(
+            checkpoint_paths(&path).is_empty(),
+            "spent checkpoints must be cleaned up after a completed run"
+        );
         let _ = kgfd_obs::drain_recoveries();
     }
 

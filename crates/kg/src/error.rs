@@ -33,6 +33,26 @@ pub enum KgError {
     /// to the current format safely (e.g. a v1 TransE file whose distance
     /// flag is untrustworthy); the artifact must be regenerated.
     Migration(String),
+    /// A training checkpoint was written under a different training
+    /// configuration than the one it is being resumed with. Resuming would
+    /// silently train a *different* run (other hyperparameters, other RNG
+    /// streams), so the mismatch is refused; delete the checkpoints or
+    /// restore the original configuration.
+    CheckpointMismatch {
+        /// Fingerprint of the configuration the resume was requested with.
+        expected: u64,
+        /// Fingerprint stored in the checkpoint file.
+        found: u64,
+    },
+    /// A model score used for threshold tuning was NaN or infinite. A
+    /// non-finite score would silently scramble the threshold search (NaN
+    /// is unordered), so it is rejected loudly instead.
+    NonFiniteScore {
+        /// Position of the first non-finite score.
+        index: usize,
+        /// The offending value (NaN, +∞, or −∞).
+        value: f64,
+    },
     /// A sampling-weight vector contained a NaN or infinite entry. Rejected
     /// loudly: a NaN weight would otherwise poison CDF/alias-table
     /// construction silently (NaN propagates into the running total, which
@@ -65,6 +85,16 @@ impl std::fmt::Display for KgError {
                 "unsupported format version {found} (this build reads up to v{max_supported})"
             ),
             KgError::Migration(msg) => write!(f, "migration required: {msg}"),
+            KgError::CheckpointMismatch { expected, found } => write!(
+                f,
+                "checkpoint belongs to a different training configuration \
+                 (fingerprint {found:#018x}, expected {expected:#018x}); \
+                 refusing to resume"
+            ),
+            KgError::NonFiniteScore { index, value } => write!(
+                f,
+                "non-finite score {value} at index {index}; scores must be finite"
+            ),
             KgError::NonFiniteWeight { index, value } => write!(
                 f,
                 "non-finite sampling weight {value} at index {index}; weights must be finite"
@@ -123,6 +153,28 @@ mod tests {
         assert!(KgError::Migration("retrain".into())
             .to_string()
             .contains("retrain"));
+    }
+
+    #[test]
+    fn checkpoint_mismatch_names_both_fingerprints() {
+        let msg = KgError::CheckpointMismatch {
+            expected: 0xAB,
+            found: 0xCD,
+        }
+        .to_string();
+        assert!(msg.contains("0x00000000000000cd"), "{msg}");
+        assert!(msg.contains("0x00000000000000ab"), "{msg}");
+        assert!(msg.contains("refusing"), "{msg}");
+    }
+
+    #[test]
+    fn non_finite_score_names_the_offender() {
+        let msg = KgError::NonFiniteScore {
+            index: 5,
+            value: f64::NAN,
+        }
+        .to_string();
+        assert!(msg.contains("index 5") && msg.contains("NaN"), "{msg}");
     }
 
     #[test]

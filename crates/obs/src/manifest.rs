@@ -34,9 +34,13 @@ pub struct RunManifest {
     /// Total wall-clock time of the run, in seconds.
     pub wall_clock_s: f64,
     /// Recovery actions observed during the run (e.g. a corrupt zoo cache
-    /// entry evicted and retrained). Populated at [`RunManifest::emit`]
-    /// time from the process-wide recovery log ([`crate::record_recovery`]).
+    /// entry evicted and retrained, or a damaged training checkpoint
+    /// skipped). Populated at [`RunManifest::emit`] time from the
+    /// process-wide recovery log ([`crate::record_recovery`]).
     pub recoveries: Vec<String>,
+    /// Path of the training checkpoint the run resumed from; `None` when
+    /// the run started fresh (no `--resume`, or no usable checkpoint).
+    pub resumed_from: Option<String>,
     /// Shape and hot spots of the span tree when trace collection was
     /// enabled for the run; `null` otherwise. Populated at
     /// [`RunManifest::emit`] time from the process collector (without

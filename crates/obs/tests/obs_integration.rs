@@ -83,6 +83,7 @@ fn jsonl_sink_lines_round_trip_through_the_event_schema() {
             config: vec![Field::new("top_n", 10u64)],
             wall_clock_s: 1.5,
             recoveries: Vec::new(),
+            resumed_from: None,
             trace: None,
         }
         .emit();

@@ -1,0 +1,233 @@
+//! Differential conformance suite for crash-safe checkpoint/resume.
+//!
+//! The headline guarantee of the checkpoint subsystem: a training run that
+//! is killed at an epoch boundary and resumed from its checkpoint finishes
+//! **bit-identical** to a run that never stopped — same final embeddings,
+//! same per-epoch losses, same discovered facts — for every model family,
+//! at 1 and at 4 training threads. A checkpoint is also thread-count
+//! portable: a run killed at N threads may resume at M.
+//!
+//! The second half exercises the recovery story end to end: when the
+//! newest checkpoint is corrupt, resume falls back to the previous one and
+//! the eviction is visible in the JSONL run manifest (`recoveries` +
+//! `resumed_from`).
+
+use fact_discovery::{discover_facts, DiscoveryConfig, StrategyKind};
+use kgfd_datasets::toy_biomedical;
+use kgfd_embed::{
+    checkpoint_paths, resume_latest, train, CheckpointPolicy, KgeModel, ModelKind, TrainConfig,
+    TrainOutcome, TrainSession,
+};
+use std::path::PathBuf;
+
+fn config_for(kind: ModelKind, threads: usize, seed: u64) -> TrainConfig {
+    TrainConfig {
+        dim: 12, // ConvE needs a reshapeable dim; 12 = 3×4
+        epochs: 6,
+        batch_size: 64,
+        negatives: 2,
+        seed,
+        threads,
+        normalize_entities: kind == ModelKind::TransE,
+        ..TrainConfig::default()
+    }
+}
+
+/// Unique scratch dir per (test, kind, threads) so the matrix runs in
+/// parallel without sharing checkpoint files.
+fn arena(tag: &str) -> (PathBuf, PathBuf) {
+    let dir = std::env::temp_dir().join(format!("kgfd-ckpt-diff-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = dir.join("model.kgfd");
+    (dir, out)
+}
+
+fn assert_params_identical(label: &str, a: &dyn KgeModel, b: &dyn KgeModel) {
+    assert_eq!(a.params().num_tables(), b.params().num_tables(), "{label}");
+    for t in 0..a.params().num_tables() {
+        assert_eq!(
+            a.params().table(t).data(),
+            b.params().table(t).data(),
+            "{label}: table {t} diverged"
+        );
+    }
+}
+
+/// The full differential matrix: every model family × {1, 4} threads,
+/// killed after 3 of 6 epochs and resumed. Epoch losses, final parameters,
+/// and the facts discovered from the final model must all match an
+/// uninterrupted run exactly.
+#[test]
+fn kill_resume_is_bit_identical_for_every_model_family_at_1_and_4_threads() {
+    let data = toy_biomedical();
+    for (i, kind) in ModelKind::ALL.into_iter().enumerate() {
+        for threads in [1usize, 4] {
+            let label = format!("{kind}@{threads}t");
+            let config = config_for(kind, threads, 0xC0FF_EE00 + i as u64);
+            let (plain, plain_stats) = train(kind, &data.train, &config);
+
+            let (dir, out) = arena(&format!("{}-{threads}", kind.name()));
+            let policy = CheckpointPolicy::new(out.clone(), 1);
+            // The doomed run: 3 of 6 epochs, checkpoint at the boundary,
+            // then the process "dies" (the session is dropped — nothing of
+            // it survives but the checkpoint file).
+            {
+                let mut session = TrainSession::new(kind, &data.train, &config).unwrap();
+                for _ in 0..3 {
+                    session.run_epoch();
+                }
+                session.save_checkpoint(&policy).unwrap();
+            }
+
+            let (mut session, report) = resume_latest(kind, &data.train, &config, &out).unwrap();
+            assert_eq!(session.epochs_done(), 3, "{label}");
+            assert!(report.resumed_from.is_some(), "{label}");
+            assert!(
+                report.recoveries.is_empty(),
+                "{label}: {:?}",
+                report.recoveries
+            );
+            match session.run(Some(&policy), None).unwrap() {
+                TrainOutcome::Completed => {}
+                other => panic!("{label}: expected completion, got {other:?}"),
+            }
+            let resumed_losses = session.epoch_losses().to_vec();
+            let (resumed, _) = session.into_model();
+
+            // Losses: every epoch, bit for bit (f64 equality).
+            assert_eq!(
+                plain_stats.epoch_losses, resumed_losses,
+                "{label}: epoch losses diverged"
+            );
+            // Parameters: every table, bit for bit.
+            assert_params_identical(&label, plain.as_ref(), resumed.as_ref());
+            // Discovered facts: the downstream deliverable must be the same.
+            let discover = |model: &dyn KgeModel| {
+                discover_facts(
+                    model,
+                    &data.train,
+                    &DiscoveryConfig {
+                        strategy: StrategyKind::EntityFrequency,
+                        top_n: 8,
+                        max_candidates: 30,
+                        seed: 5,
+                        ..DiscoveryConfig::default()
+                    },
+                )
+            };
+            assert_eq!(
+                discover(plain.as_ref()).facts,
+                discover(resumed.as_ref()).facts,
+                "{label}: discovered facts diverged"
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+/// Checkpoints are thread-count portable: a run killed at 1 thread resumes
+/// at 4 (and vice versa) and still matches the uninterrupted run bitwise —
+/// the config fingerprint deliberately excludes `threads`.
+#[test]
+fn resume_across_thread_counts_is_bit_identical() {
+    let data = toy_biomedical();
+    let kind = ModelKind::ComplEx;
+    for (kill_threads, resume_threads) in [(1usize, 4usize), (4, 1)] {
+        let label = format!("killed@{kill_threads}t resumed@{resume_threads}t");
+        let config = config_for(kind, kill_threads, 77);
+        let (plain, _) = train(kind, &data.train, &config);
+
+        let (dir, out) = arena(&format!("xthread-{kill_threads}-{resume_threads}"));
+        let policy = CheckpointPolicy::new(out.clone(), 1);
+        {
+            let mut session = TrainSession::new(kind, &data.train, &config).unwrap();
+            for _ in 0..3 {
+                session.run_epoch();
+            }
+            session.save_checkpoint(&policy).unwrap();
+        }
+
+        let mut resumed_config = config.clone();
+        resumed_config.threads = resume_threads;
+        let (mut session, report) =
+            resume_latest(kind, &data.train, &resumed_config, &out).unwrap();
+        assert!(report.resumed_from.is_some(), "{label}");
+        session.run(None, None).unwrap();
+        let (resumed, _) = session.into_model();
+        assert_params_identical(&label, plain.as_ref(), resumed.as_ref());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// End-to-end recovery visibility: the newest checkpoint is corrupted, the
+/// run resumes from the previous one, and the JSONL run manifest records
+/// both the eviction (`recoveries`) and the checkpoint actually used
+/// (`resumed_from`).
+#[test]
+fn corrupt_newest_fallback_is_visible_in_the_jsonl_run_manifest() {
+    let data = toy_biomedical();
+    let kind = ModelKind::DistMult;
+    let config = config_for(kind, 1, 901);
+    let (dir, out) = arena("jsonl");
+    let policy = CheckpointPolicy::new(out.clone(), 1);
+    // Two checkpoint boundaries, then damage the newest.
+    {
+        let mut session = TrainSession::new(kind, &data.train, &config).unwrap();
+        for _ in 0..2 {
+            session.run_epoch();
+        }
+        session.save_checkpoint(&policy).unwrap();
+        for _ in 0..2 {
+            session.run_epoch();
+        }
+        session.save_checkpoint(&policy).unwrap();
+    }
+    let paths = checkpoint_paths(&out);
+    assert_eq!(paths.len(), 2, "{paths:?}");
+    let newest = paths.last().unwrap().1.clone();
+    let bytes = std::fs::read(&newest).unwrap();
+    std::fs::write(&newest, &bytes[..bytes.len() - 7]).unwrap();
+    let _ = kgfd_obs::drain_recoveries(); // discard unrelated history
+
+    let jsonl = dir.join("run.jsonl");
+    {
+        let _guard = kgfd_obs::scoped(std::sync::Arc::new(
+            kgfd_obs::JsonlSink::create(&jsonl).unwrap(),
+        ));
+        let (mut session, report) = resume_latest(kind, &data.train, &config, &out).unwrap();
+        assert_eq!(session.epochs_done(), 2, "fell back to the epoch-2 state");
+        session.run(None, None).unwrap();
+        let mut manifest = kgfd_obs::RunManifest::new("train");
+        manifest.model = kind.to_string();
+        manifest.resumed_from = report
+            .resumed_from
+            .as_ref()
+            .map(|p| p.display().to_string());
+        manifest.emit();
+    }
+
+    let text = std::fs::read_to_string(&jsonl).unwrap();
+    let mut manifest = None;
+    for line in text.lines() {
+        let event: kgfd_obs::Event = serde_json::from_str(line).expect("line parses");
+        if let kgfd_obs::Payload::Manifest(m) = event.payload {
+            manifest = Some(m);
+        }
+    }
+    let manifest = manifest.expect("manifest line present");
+    let resumed_from = manifest.resumed_from.expect("resumed_from recorded");
+    assert!(
+        resumed_from.ends_with("ckpt-00000002"),
+        "resumed_from should name the fallback checkpoint: {resumed_from}"
+    );
+    assert!(
+        manifest
+            .recoveries
+            .iter()
+            .any(|r| r.contains("ckpt-00000004") && r.contains("evicted")),
+        "manifest recoveries missing the eviction: {:?}",
+        manifest.recoveries
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -140,6 +140,7 @@ fn run_manifest_event_schema_is_stable() {
         recoveries: vec![
             "zoo.cache.corrupt: golden.kgfd: checksum mismatch (evicted, retrained)".to_string(),
         ],
+        resumed_from: Some("golden.ckpt-00000010".to_string()),
         trace: Some(kgfd_obs::TraceSummary {
             spans: 3,
             max_depth: 2,

@@ -17,7 +17,7 @@ use kgfd_kg::{KgError, Triple};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 // Layout constants of the v2 format, stated independently of the
 // implementation (see DESIGN.md "Persistence format v2") so a drift in
@@ -274,6 +274,7 @@ fn zoo_recovery_is_visible_in_the_jsonl_run_manifest() {
             config: Vec::new(),
             wall_clock_s: 0.0,
             recoveries: Vec::new(),
+            resumed_from: None,
             trace: None,
         }
         .emit();
@@ -305,6 +306,171 @@ fn zoo_recovery_is_visible_in_the_jsonl_run_manifest() {
             .any(|r| r.contains("zoo.cache.corrupt") && r.contains("checksum mismatch")),
         "manifest recoveries missing the eviction: {recoveries:?}"
     );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection for "KGCK" v1 training checkpoints.
+// ---------------------------------------------------------------------------
+
+use kgfd_datasets::toy_biomedical;
+use kgfd_embed::{
+    checkpoint_paths, read_checkpoint_file, resume_latest, CheckpointPolicy, TrainConfig,
+    TrainSession, CHECKPOINT_VERSION,
+};
+
+fn ckpt_config() -> TrainConfig {
+    TrainConfig {
+        dim: 8,
+        epochs: 6,
+        batch_size: 32,
+        negatives: 2,
+        seed: 40,
+        threads: 1,
+        ..TrainConfig::default()
+    }
+}
+
+/// A scratch dir plus the output path checkpoints sit beside; unique per
+/// test so the suites can run in parallel.
+fn ckpt_arena(tag: &str) -> (PathBuf, PathBuf) {
+    let dir = std::env::temp_dir().join(format!("kgfd-ckpt-faults-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = dir.join("model.kgfd");
+    (dir, out)
+}
+
+/// Trains `epochs` and saves one checkpoint at that boundary.
+fn checkpoint_after(
+    store: &kgfd_kg::TripleStore,
+    config: &TrainConfig,
+    out: &Path,
+    epochs: usize,
+) -> PathBuf {
+    let mut session = TrainSession::new(ModelKind::DistMult, store, config).unwrap();
+    for _ in 0..epochs {
+        session.run_epoch();
+    }
+    let policy = CheckpointPolicy::new(out.to_path_buf(), 1);
+    session.save_checkpoint(&policy).unwrap()
+}
+
+/// A writer killed *between* the temp-file write and the rename leaves a
+/// dot-prefixed `.tmp.` sibling behind. That debris must be invisible to
+/// resume: it is not enumerated as a checkpoint, and the real checkpoint
+/// next to it restores normally.
+#[test]
+fn stale_tmp_sibling_from_a_killed_writer_is_ignored_on_resume() {
+    let data = toy_biomedical();
+    let config = ckpt_config();
+    let (dir, out) = ckpt_arena("tmp");
+    let real = checkpoint_after(&data.train, &config, &out, 2);
+    // Debris mimicking persist.rs's `.{name}.tmp.{pid}.{n}` temp sibling,
+    // plus a half-written checkpoint-named file with a non-digit suffix.
+    std::fs::write(dir.join(".model.kgfd.ckpt-00000003.tmp.9999.0"), b"garbage").unwrap();
+    std::fs::write(dir.join("model.kgfd.ckpt-00000003x"), b"partial").unwrap();
+
+    let found = checkpoint_paths(&out);
+    assert_eq!(
+        found.iter().map(|(e, _)| *e).collect::<Vec<_>>(),
+        vec![2],
+        "only the completed checkpoint may be enumerated: {found:?}"
+    );
+    let (session, report) = resume_latest(ModelKind::DistMult, &data.train, &config, &out).unwrap();
+    assert_eq!(session.epochs_done(), 2);
+    assert_eq!(report.resumed_from.as_deref(), Some(real.as_path()));
+    assert!(report.recoveries.is_empty(), "{:?}", report.recoveries);
+    let _ = kgfd_obs::drain_recoveries();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Truncating the newest checkpoint (a crash mid-write without the atomic
+/// protocol, or disk damage) must fall back to the previous boundary: the
+/// bad file is evicted, the recovery recorded, and training resumes from
+/// the older state.
+#[test]
+fn truncated_newest_checkpoint_falls_back_to_the_previous_one() {
+    let data = toy_biomedical();
+    let config = ckpt_config();
+    let (dir, out) = ckpt_arena("trunc");
+    let older = checkpoint_after(&data.train, &config, &out, 2);
+    let newest = checkpoint_after(&data.train, &config, &out, 4);
+    let bytes = std::fs::read(&newest).unwrap();
+    std::fs::write(&newest, &bytes[..bytes.len() / 2]).unwrap();
+
+    let (session, report) = resume_latest(ModelKind::DistMult, &data.train, &config, &out).unwrap();
+    assert_eq!(session.epochs_done(), 2, "fell back to the epoch-2 state");
+    assert_eq!(report.resumed_from.as_deref(), Some(older.as_path()));
+    assert_eq!(report.recoveries.len(), 1);
+    assert!(
+        report.recoveries[0].contains("evicted"),
+        "{}",
+        report.recoveries[0]
+    );
+    assert!(!newest.exists(), "the truncated file must be evicted");
+    let _ = kgfd_obs::drain_recoveries();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A checkpoint stamped with a future format version is a typed
+/// [`KgError::UnsupportedVersion`] when read directly, and resume evicts it
+/// (this binary cannot parse it — its layout is unknown) and starts over.
+#[test]
+fn version_skewed_checkpoint_is_typed_and_evicted_on_resume() {
+    let data = toy_biomedical();
+    let config = ckpt_config();
+    let (dir, out) = ckpt_arena("skew");
+    let path = checkpoint_after(&data.train, &config, &out, 3);
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[4] = CHECKPOINT_VERSION + 1; // version byte right after "KGCK"
+    std::fs::write(&path, &bytes).unwrap();
+
+    match read_checkpoint_file(&path) {
+        Err(KgError::UnsupportedVersion {
+            found,
+            max_supported,
+        }) => {
+            assert_eq!(found, CHECKPOINT_VERSION + 1);
+            assert_eq!(max_supported, CHECKPOINT_VERSION);
+        }
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+    let (session, report) = resume_latest(ModelKind::DistMult, &data.train, &config, &out).unwrap();
+    assert_eq!(session.epochs_done(), 0, "no usable checkpoint → fresh run");
+    assert!(report.resumed_from.is_none());
+    assert_eq!(report.recoveries.len(), 1);
+    let _ = kgfd_obs::drain_recoveries();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A structurally healthy checkpoint whose fingerprint disagrees with the
+/// requested configuration must be *refused*, not silently skipped or
+/// deleted — resuming it would train a different run than the one asked
+/// for, and falling back would quietly discard the user's state.
+#[test]
+fn mismatched_fingerprint_checkpoint_is_refused_and_left_on_disk() {
+    let data = toy_biomedical();
+    let config = ckpt_config();
+    let (dir, out) = ckpt_arena("fp");
+    let path = checkpoint_after(&data.train, &config, &out, 3);
+    let mut other = config.clone();
+    other.seed = config.seed + 1;
+
+    match resume_latest(ModelKind::DistMult, &data.train, &other, &out) {
+        Err(KgError::CheckpointMismatch { expected, found }) => {
+            assert_ne!(expected, found);
+        }
+        other => panic!(
+            "expected CheckpointMismatch, got {other:?}",
+            other = other.as_ref().err().map(|e| e.to_string())
+        ),
+    }
+    assert!(
+        path.exists(),
+        "a refused checkpoint must not be deleted — the user may still want it"
+    );
+    let _ = kgfd_obs::drain_recoveries();
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -403,6 +569,94 @@ fn render_layout(bytes: &[u8]) -> String {
     ));
     out.push_str(&format!("\ntotal: {} bytes\n", bytes.len()));
     out
+}
+
+/// Renders the section structure of a "KGCK" v1 checkpoint as an annotated
+/// dump. Bulk f32 payloads are summarized by length; every header integer
+/// is shown verbatim, and the CRC covers the whole file.
+fn render_checkpoint_layout(bytes: &[u8]) -> String {
+    let u64_at = |off: usize| u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap());
+    let crc = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().unwrap());
+    let mut out = String::new();
+    out.push_str("offset  field          value\n");
+    out.push_str(&format!(
+        "0       magic          {}  (\"KGCK\")\n",
+        hex(&bytes[0..4])
+    ));
+    out.push_str(&format!("4       version        {}\n", hex(&bytes[4..5])));
+    out.push_str(&format!("5       fingerprint    {:#018x}\n", u64_at(5)));
+    out.push_str(&format!("13      epochs_done    {}\n", u64_at(13)));
+    out.push_str(&format!(
+        "21      rng_state      [{:#x}, {:#x}, {:#x}, {:#x}]\n",
+        u64_at(21),
+        u64_at(29),
+        u64_at(37),
+        u64_at(45)
+    ));
+    let num_losses = u64_at(53) as usize;
+    let mut off = 61;
+    out.push_str(&format!("53      num_losses     {num_losses}\n"));
+    for i in 0..num_losses {
+        out.push_str(&format!(
+            "{off:<7} loss[{i}]        {}\n",
+            f64::from_bits(u64_at(off))
+        ));
+        off += 8;
+    }
+    let model_len = u64_at(off) as usize;
+    out.push_str(&format!("{off:<7} model_len      {model_len}\n"));
+    off += 8;
+    out.push_str(&format!(
+        "{off:<7} model bytes    {model_len} bytes (embedded \"KGFD\" v2 file)\n"
+    ));
+    off += model_len;
+    let tag = bytes[off];
+    out.push_str(&format!(
+        "{off:<7} optimizer tag  {tag:#04x}  (0 = SGD, 1 = Adagrad, 2 = Adam)\n"
+    ));
+    off += 1;
+    let opt_len = bytes.len() - FOOTER_LEN - off;
+    out.push_str(&format!(
+        "{off:<7} optimizer data {opt_len} bytes (shape directory + f32 state)\n"
+    ));
+    out.push_str(&format!(
+        "{:<7} crc32 footer   {}  ({crc:#010x}, over all preceding bytes)\n",
+        bytes.len() - 4,
+        hex(&bytes[bytes.len() - 4..])
+    ));
+    out.push_str(&format!("\ntotal: {} bytes\n", bytes.len()));
+    out
+}
+
+#[test]
+fn kgck_v1_layout_matches_golden_snapshot() {
+    // A real checkpoint taken 2 epochs into a seeded DistMult run: every
+    // byte — init noise, Adam moments, losses, RNG position — is
+    // reproducible, so the snapshot pins the layout *and* the determinism
+    // of the state feeding it.
+    let data = toy_biomedical();
+    let config = TrainConfig {
+        dim: 8,
+        epochs: 4,
+        batch_size: 32,
+        negatives: 2,
+        seed: 99,
+        threads: 1,
+        ..TrainConfig::default()
+    };
+    let mut session = TrainSession::new(ModelKind::DistMult, &data.train, &config).unwrap();
+    session.run_epoch();
+    session.run_epoch();
+    let bytes = session.checkpoint().encode();
+    assert_eq!(
+        u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().unwrap()),
+        crc32(&bytes[..bytes.len() - 4])
+    );
+    let layout = format!(
+        "KGCK v1 checkpoint layout (DistMult, dim 8, seed 99, 2 of 4 epochs done)\n\n{}",
+        render_checkpoint_layout(&bytes)
+    );
+    assert_matches_golden("checkpoint_format_v1.txt", &layout);
 }
 
 #[test]

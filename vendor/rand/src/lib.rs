@@ -171,6 +171,22 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The raw xoshiro256** state words. Together with
+        /// [`StdRng::from_state`] this lets callers persist a generator's
+        /// exact stream position (the training checkpoint format stores the
+        /// epoch-shuffle stream this way).
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Reconstructs a generator at an exact stream position previously
+        /// captured with [`StdRng::state`].
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+    }
+
     impl Rng for StdRng {
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
@@ -218,6 +234,18 @@ mod tests {
     fn same_seed_same_stream() {
         let mut a = StdRng::seed_from_u64(42);
         let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_the_exact_stream() {
+        let mut a = StdRng::seed_from_u64(11);
+        for _ in 0..17 {
+            a.next_u64();
+        }
+        let mut b = StdRng::from_state(a.state());
         for _ in 0..100 {
             assert_eq!(a.next_u64(), b.next_u64());
         }
