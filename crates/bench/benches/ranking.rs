@@ -58,12 +58,16 @@ fn bench(c: &mut Criterion) {
     let unique = unique_workload(n, 256);
 
     let mut results = Vec::new();
+    let mut unique_speedup = f64::INFINITY;
     for (name, triples) in [("dup_heavy", &dup_heavy), ("unique", &unique)] {
         let scalar_s = best_of_3(|| rank_all_scalar(model.as_ref(), triples, Some(&known), 1));
         let batched_s = best_of_3(|| rank_all(model.as_ref(), triples, Some(&known), 1));
         let (_, stats) =
             BatchRanker::new(model.as_ref(), 1).rank_all_with_stats(triples, Some(&known));
         let speedup = scalar_s / batched_s;
+        if name == "unique" {
+            unique_speedup = speedup;
+        }
         println!(
             "  {:<10} {:>5} triples  dedup {:>5.1}x  scalar {:>8.1}/s  batched {:>8.1}/s  speedup {:>5.2}x",
             name,
@@ -114,6 +118,13 @@ fn bench(c: &mut Criterion) {
             overhead_pct < 5.0,
             "tracing overhead {overhead_pct:.2}% exceeds the 5% budget \
              (off {untraced_s:.6}s vs on {traced_s:.6}s)"
+        );
+        // The unique (eval-shaped) workload takes the no-grouping bypass;
+        // the batched engine must at least match the scalar path there.
+        assert!(
+            unique_speedup >= 1.0,
+            "batched engine regressed on the unique workload \
+             ({unique_speedup:.3}x vs scalar)"
         );
         let json = format!(
             "{{\n  \"bench\": \"ranking\",\n  \"model\": \"transe\",\n  \"entities\": {},\n  \"threads\": 1,\n  \"workloads\": [\n{}\n  ],\n  \"tracing_overhead\": {{\"workload\": \"dup_heavy\", \"spans_per_run\": {}, \"off_triples_per_sec\": {:.1}, \"on_triples_per_sec\": {:.1}, \"overhead_pct\": {:.3}}}\n}}\n",

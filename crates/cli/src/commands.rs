@@ -50,7 +50,9 @@ COMMANDS:
             [--checkpoint-every <N>] [--resume] [--deadline <SECS>]
             train an embedding model and save it; --threads splits each
             mini-batch across N workers (results are bit-identical for
-            any N; defaults to KGFD_THREADS or the CPU count, capped at 8).
+            any N; defaults to KGFD_THREADS or the CPU count, capped at 8;
+            requests beyond the process worker pool are clamped with a
+            warning).
             --checkpoint-every N atomically writes a checksummed training
             checkpoint next to --out every N epochs; --resume restarts from
             the newest valid checkpoint (falling back past corrupt ones) and
@@ -58,7 +60,7 @@ COMMANDS:
             --deadline stops gracefully at the next epoch boundary after
             SECS seconds, saving a final checkpoint (exit code 6)
   eval      --train <TSV> --test <TSV> --model-file <FILE> [--valid <TSV>]
-            [--per-relation]
+            [--per-relation] [--threads 4]
             filtered link-prediction metrics (MRR, Hits@k)
   discover  --train <TSV> --model-file <FILE> [--strategy <ur|ef|gd|cc|ct|cs|pr>]
             [--top-n 500] [--max-candidates 500] [--relation <LABEL>]
@@ -470,6 +472,14 @@ fn cmd_stats(args: &Args) -> CmdResult {
     ))
 }
 
+/// Resolves a user-requested `--threads` value through the pool's central
+/// policy: zero is rejected, requests beyond the pool's width are clamped
+/// (with a warning event). One helper so train/eval/discover, the harness,
+/// and `repro` all agree on the rule.
+fn resolve_threads_arg(requested: usize) -> Result<usize, String> {
+    kgfd_pool::resolve_threads(requested).map_err(|e| format!("--threads: {e}"))
+}
+
 /// Renders a loss value for reports: `NaN` (a zero-epoch run) becomes
 /// `"n/a"` instead of leaking NaN into text or JSON output.
 fn render_loss(loss: f64) -> String {
@@ -510,7 +520,11 @@ fn cmd_train(args: &Args) -> CmdResult {
             None => None,
         },
         seed: args.parse_or("seed", 0, "integer")?,
-        threads: args.parse_or("threads", TrainConfig::default_threads(), "integer")?,
+        threads: resolve_threads_arg(args.parse_or(
+            "threads",
+            TrainConfig::default_threads(),
+            "integer",
+        )?)?,
     };
     config
         .validate()
@@ -728,8 +742,9 @@ fn cmd_eval(args: &Args) -> CmdResult {
     let model = load_model_file(args.required("model-file")?)?;
     check_model_matches(model.as_ref(), &store)?;
 
+    let threads = resolve_threads_arg(args.parse_or("threads", 4, "integer")?)?;
     let known = kgfd_kg::KnownTriples::from_slices([store.triples(), &valid[..], &test[..]]);
-    let summary = evaluate_ranking(model.as_ref(), &test, Some(&known), 4);
+    let summary = evaluate_ranking(model.as_ref(), &test, Some(&known), threads);
     let mut out = format!(
         "filtered link prediction on {} test triples ({}):\n{summary}",
         test.len(),
@@ -737,7 +752,7 @@ fn cmd_eval(args: &Args) -> CmdResult {
     );
     if args.flag("per-relation") {
         out.push_str("\nper relation:\n");
-        for p in evaluate_per_relation(model.as_ref(), &test, Some(&known), 4) {
+        for p in evaluate_per_relation(model.as_ref(), &test, Some(&known), threads) {
             out.push_str(&format!(
                 "  {:<24} {}\n",
                 vocab.relation_label(p.relation).unwrap_or("?"),
@@ -800,7 +815,11 @@ fn cmd_discover(args: &Args) -> CmdResult {
         consolidate_sides: args.flag("consolidate"),
         prune_with_rules: args.flag("prune"),
         seed: args.parse_or("seed", 0, "integer")?,
-        threads: args.parse_or("threads", DiscoveryConfig::default().threads, "integer")?,
+        threads: resolve_threads_arg(args.parse_or(
+            "threads",
+            DiscoveryConfig::default().threads,
+            "integer",
+        )?)?,
         chunk_size: args.parse_or(
             "chunk-size",
             DiscoveryConfig::default().chunk_size,
@@ -809,9 +828,6 @@ fn cmd_discover(args: &Args) -> CmdResult {
         top_k,
         ..DiscoveryConfig::default()
     };
-    if config.threads == 0 {
-        return Err("--threads must be at least 1".into());
-    }
     if config.chunk_size == 0 {
         return Err("--chunk-size must be at least 1".into());
     }

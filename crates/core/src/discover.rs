@@ -141,7 +141,7 @@ pub fn try_discover_facts(
             config.exploration_epsilon
         )));
     }
-    Ok(run_discovery(model, store, config, Engine::Streaming))
+    run_discovery(model, store, config, Engine::Streaming)
 }
 
 /// The pre-streaming reference implementation: materializes every candidate
@@ -155,18 +155,25 @@ pub fn discover_facts_materialized(
     store: &TripleStore,
     config: &DiscoveryConfig,
 ) -> DiscoveryReport {
-    run_discovery(model, store, config, Engine::Materialized)
+    run_discovery(model, store, config, Engine::Materialized).expect("discovery worker panicked")
+}
+
+/// Maps a pool failure (a panicked relation worker) to the typed error the
+/// discovery API surfaces instead of hanging or aborting the process.
+fn worker_panic_error(e: kgfd_pool::PoolError) -> KgError {
+    KgError::WorkerPanic(e.to_string())
 }
 
 /// Shared orchestration: preparation, the relation fan-out (sequential or
-/// crossbeam-scoped), and report assembly. Identical for both engines so a
-/// conformance divergence can only come from the per-relation paths.
+/// dispatched onto the persistent pool), and report assembly. Identical for
+/// both engines so a conformance divergence can only come from the
+/// per-relation paths.
 fn run_discovery(
     model: &dyn KgeModel,
     store: &TripleStore,
     config: &DiscoveryConfig,
     engine: Engine,
-) -> DiscoveryReport {
+) -> Result<DiscoveryReport, KgError> {
     let total_span = kgfd_obs::span!("discover.total", strategy = config.strategy.to_string());
 
     let prep_span = kgfd_obs::span!(
@@ -238,11 +245,13 @@ fn run_discovery(
 
     // Relations are embarrassingly parallel: each draws from its own
     // seed-derived RNG stream and sees only shared read-only state, so the
-    // outcome of one never depends on which others run or where. Workers
-    // take contiguous chunks and results merge in relation order, keeping
-    // the report byte-identical to a sequential run at any thread count.
-    // When the outer loop is parallel, per-relation candidate ranking runs
-    // single-threaded — the relation fan-out already owns the budget.
+    // outcome of one never depends on which others run or where. Pool
+    // workers take contiguous chunks and results merge in relation order,
+    // keeping the report byte-identical to a sequential run at any thread
+    // count. When the outer loop is parallel, per-relation candidate
+    // ranking runs single-threaded — the relation fan-out already owns the
+    // budget (a nested ranking scope would fall back to inline execution on
+    // the pool anyway).
     let workers = config.threads.max(1).min(relations.len().max(1));
     let outcomes: Vec<RelationOutcome> = if workers <= 1 {
         relations
@@ -257,15 +266,15 @@ fn run_discovery(
     } else {
         let per_worker = relations.len().div_ceil(workers);
         let mut collected = Vec::with_capacity(relations.len());
-        // Worker threads have an empty span stack; hand the root span over
+        // Pool workers have an empty span stack; hand the root span over
         // explicitly so every per-relation span still nests under it.
         let total_handle = total_span.handle();
         let run_one = &run_one;
-        crossbeam::thread::scope(|scope| {
+        kgfd_pool::scope(|scope| {
             let handles: Vec<_> = relations
                 .chunks(per_worker)
                 .map(|part| {
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         part.iter()
                             .map(|&r| {
                                 let _rel_span = kgfd_obs::Span::child_for_thread_with_fields(
@@ -279,11 +288,15 @@ fn run_discovery(
                     })
                 })
                 .collect();
-            for h in handles {
-                collected.extend(h.join().expect("discovery worker panicked"));
+            // Join *every* handle before surfacing an error: a typed
+            // propagation must not leave panicked-but-unclaimed jobs for
+            // the scope exit to resume.
+            let joined: Vec<_> = handles.into_iter().map(|h| h.try_join()).collect();
+            for part in joined {
+                collected.extend(part.map_err(worker_panic_error)?);
             }
-        })
-        .expect("crossbeam scope failed");
+            Ok::<(), KgError>(())
+        })?;
         collected
     };
 
@@ -298,7 +311,7 @@ fn run_discovery(
         per_relation.push(outcome.breakdown);
     }
 
-    DiscoveryReport {
+    Ok(DiscoveryReport {
         strategy: config.strategy,
         top_n: config.top_n,
         max_candidates: config.max_candidates,
@@ -308,7 +321,7 @@ fn run_discovery(
         generation,
         evaluation,
         total: total_span.finish(),
-    }
+    })
 }
 
 /// One relation's share of a discovery run: its kept facts plus the

@@ -4,16 +4,23 @@
 //! (or a translation point) that is then combined with each row of the
 //! entity table. The single-query kernels therefore sweep the whole
 //! `N × dim` table once per query. The helpers here sweep it once per
-//! **tile of [`QUERY_TILE`] queries** instead: the outer loop walks entity
-//! rows, the inner loop the queries of the tile, so a row loaded from
-//! memory is reused `QUERY_TILE` times before being evicted.
+//! **tile of [`QUERY_TILE`] queries** instead, and walk the table in
+//! blocks of [`ENTITY_BLOCK`] rows: within a block, the inner loops run
+//! query-then-entity, so
+//!
+//! - a block of entity rows is reused by every query of the tile while it
+//!   is still cache-resident, and
+//! - each query writes its `out[q·N + block]` slots as one contiguous run
+//!   instead of the old stride-`N` scatter (one write per entity per
+//!   query), which lets the stores stream.
 //!
 //! **Bit-identical-scores contract:** for each `(query, entity)` pair the
 //! reduction below is the exact expression of the corresponding
-//! single-query kernel, in the same summation order over `dim`. Tiling only
-//! reorders *independent* output slots, so batched scores are bitwise equal
-//! to looped single-query scores — the differential suites in
-//! `tests/batch_kernels.rs` and `kgfd-eval` hold both paths to that.
+//! single-query kernel, in the same summation order over `dim`. Tiling and
+//! entity blocking only reorder *independent* output slots, so batched
+//! scores are bitwise equal to looped single-query scores — the
+//! differential suites in `tests/batch_kernels.rs` and `kgfd-eval` hold
+//! both paths to that.
 //!
 //! Output layout is query-major: `out[q * N + e]` is query `q`'s score for
 //! entity `e`, with `N = entities.rows()`.
@@ -24,6 +31,12 @@ use crate::ParamTable;
 /// Queries per entity-table sweep. Sized so a tile of query vectors stays
 /// resident in L1 alongside the streamed entity row at typical dims.
 pub const QUERY_TILE: usize = 8;
+
+/// Entity rows per block of the sweep. At dim ≈ 128 a block is
+/// `64 × 128 × 4 B = 32 KiB` of entity rows — within L1 on current cores —
+/// reused [`QUERY_TILE`] times before moving on, while each query's output
+/// slice is written in contiguous 256-byte runs.
+pub const ENTITY_BLOCK: usize = 64;
 
 #[inline]
 fn check_shapes(entities: &ParamTable, qvecs: &[f32], dim: usize, out: &[f32]) -> usize {
@@ -51,15 +64,21 @@ pub fn dot_sweep(
     let mut tile_start = 0;
     while tile_start < q {
         let tile_end = (tile_start + QUERY_TILE).min(q);
-        for e in 0..n {
-            let row = entities.row(e);
+        let mut block_start = 0;
+        while block_start < n {
+            let block_end = (block_start + ENTITY_BLOCK).min(n);
             for qi in tile_start..tile_end {
-                let d = dot(&qvecs[qi * dim..(qi + 1) * dim], row);
-                out[qi * n + e] = match scale {
-                    None => d,
-                    Some(s) => s * d,
-                };
+                let qv = &qvecs[qi * dim..(qi + 1) * dim];
+                let out_row = &mut out[qi * n + block_start..qi * n + block_end];
+                for (slot, e) in (block_start..block_end).enumerate() {
+                    let d = dot(qv, entities.row(e));
+                    out_row[slot] = match scale {
+                        None => d,
+                        Some(s) => s * d,
+                    };
+                }
             }
+            block_start = block_end;
         }
         tile_start = tile_end;
     }
@@ -72,11 +91,17 @@ pub fn neg_l1_sweep(entities: &ParamTable, points: &[f32], dim: usize, out: &mut
     let mut tile_start = 0;
     while tile_start < q {
         let tile_end = (tile_start + QUERY_TILE).min(q);
-        for e in 0..n {
-            let row = entities.row(e);
+        let mut block_start = 0;
+        while block_start < n {
+            let block_end = (block_start + ENTITY_BLOCK).min(n);
             for qi in tile_start..tile_end {
-                out[qi * n + e] = -l1_distance(row, &points[qi * dim..(qi + 1) * dim]);
+                let point = &points[qi * dim..(qi + 1) * dim];
+                let out_row = &mut out[qi * n + block_start..qi * n + block_end];
+                for (slot, e) in (block_start..block_end).enumerate() {
+                    out_row[slot] = -l1_distance(entities.row(e), point);
+                }
             }
+            block_start = block_end;
         }
         tile_start = tile_end;
     }
@@ -89,11 +114,17 @@ pub fn neg_l2_sweep(entities: &ParamTable, points: &[f32], dim: usize, out: &mut
     let mut tile_start = 0;
     while tile_start < q {
         let tile_end = (tile_start + QUERY_TILE).min(q);
-        for e in 0..n {
-            let row = entities.row(e);
+        let mut block_start = 0;
+        while block_start < n {
+            let block_end = (block_start + ENTITY_BLOCK).min(n);
             for qi in tile_start..tile_end {
-                out[qi * n + e] = -l2_distance(row, &points[qi * dim..(qi + 1) * dim]);
+                let point = &points[qi * dim..(qi + 1) * dim];
+                let out_row = &mut out[qi * n + block_start..qi * n + block_end];
+                for (slot, e) in (block_start..block_end).enumerate() {
+                    out_row[slot] = -l2_distance(entities.row(e), point);
+                }
             }
+            block_start = block_end;
         }
         tile_start = tile_end;
     }
@@ -109,18 +140,24 @@ pub fn neg_complex_l1_sweep(entities: &ParamTable, points: &[f32], dim: usize, o
     let mut tile_start = 0;
     while tile_start < q {
         let tile_end = (tile_start + QUERY_TILE).min(q);
-        for e in 0..n {
-            let row = entities.row(e);
+        let mut block_start = 0;
+        while block_start < n {
+            let block_end = (block_start + ENTITY_BLOCK).min(n);
             for qi in tile_start..tile_end {
                 let point = &points[qi * dim..(qi + 1) * dim];
-                let mut acc = 0.0;
-                for i in 0..m {
-                    let u = point[i] - row[i];
-                    let v = point[m + i] - row[m + i];
-                    acc += (u * u + v * v).sqrt();
+                let out_row = &mut out[qi * n + block_start..qi * n + block_end];
+                for (slot, e) in (block_start..block_end).enumerate() {
+                    let row = entities.row(e);
+                    let mut acc = 0.0;
+                    for i in 0..m {
+                        let u = point[i] - row[i];
+                        let v = point[m + i] - row[m + i];
+                        acc += (u * u + v * v).sqrt();
+                    }
+                    out_row[slot] = -acc;
                 }
-                out[qi * n + e] = -acc;
             }
+            block_start = block_end;
         }
         tile_start = tile_end;
     }
@@ -181,6 +218,24 @@ mod tests {
                 let e2 = -l2_distance(entities.row(e), points.row(qi));
                 assert_eq!(l1[qi * 7 + e].to_bits(), e1.to_bits());
                 assert_eq!(l2[qi * 7 + e].to_bits(), e2.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn entity_blocking_is_exercised_and_bitwise_stable() {
+        // More entities than one block, plus a ragged tail, so the block
+        // loop takes both the full-block and partial-block paths.
+        let rows = ENTITY_BLOCK + ENTITY_BLOCK / 2 + 3;
+        let entities = table(rows, 6, 9);
+        let qvecs = table(QUERY_TILE + 1, 6, 10);
+        let q = QUERY_TILE + 1;
+        let mut out = vec![0.0; q * rows];
+        dot_sweep(&entities, qvecs.data(), 6, None, &mut out);
+        for qi in 0..q {
+            for e in 0..rows {
+                let expect = dot(qvecs.row(qi), entities.row(e));
+                assert_eq!(out[qi * rows + e].to_bits(), expect.to_bits());
             }
         }
     }

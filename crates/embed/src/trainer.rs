@@ -444,15 +444,15 @@ impl<'a> TrainerCore<'a> {
                 let sampler_ref = &sampler;
                 // Workers attach their shard spans under this batch's span
                 // explicitly — the thread-local stack does not cross the
-                // spawn boundary.
+                // dispatch boundary.
                 let batch_handle = batch_span.handle();
-                crossbeam::thread::scope(|scope| {
+                kgfd_pool::scope(|scope| {
                     for (w, (shard_group, out_group)) in shards
                         .chunks(per_worker)
                         .zip(outs.chunks_mut(per_worker))
                         .enumerate()
                     {
-                        scope.spawn(move |_| {
+                        scope.spawn(move || {
                             for (i, (shard, out)) in
                                 shard_group.iter().zip(out_group.iter_mut()).enumerate()
                             {
@@ -487,8 +487,7 @@ impl<'a> TrainerCore<'a> {
                             }
                         });
                     }
-                })
-                .expect("training worker panicked");
+                });
             }
             for (w, out_group) in outs.chunks(per_worker).enumerate() {
                 for out in out_group {

@@ -8,7 +8,7 @@ use kgfd_kg::{KnownTriples, Triple};
 /// Evaluates `model` on `triples` (typically a test split).
 ///
 /// `known` should cover train+valid+test for the standard filtered setting.
-/// Work is split across `threads` workers with crossbeam scoped threads;
+/// Work is split across `threads` workers on the persistent `kgfd-pool`;
 /// results are deterministic regardless of thread count.
 pub fn evaluate_ranking(
     model: &dyn KgeModel,
@@ -70,11 +70,11 @@ pub fn rank_all_scalar(
 
     let chunk = triples.len().div_ceil(threads);
     let mut results: Vec<Vec<TripleRanks>> = Vec::new();
-    crossbeam::thread::scope(|scope| {
+    kgfd_pool::scope(|scope| {
         let handles: Vec<_> = triples
             .chunks(chunk)
             .map(|part| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut scratch = RankScratch::new(model.num_entities());
                     part.iter()
                         .map(|&t| rank_triple(model, t, known, &mut scratch))
@@ -83,10 +83,9 @@ pub fn rank_all_scalar(
             })
             .collect();
         for h in handles {
-            results.push(h.join().expect("ranking worker panicked"));
+            results.push(h.join());
         }
-    })
-    .expect("crossbeam scope failed");
+    });
     results.into_iter().flatten().collect()
 }
 

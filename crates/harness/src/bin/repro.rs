@@ -67,8 +67,12 @@ fn main() {
                     std::process::exit(2);
                 }
             },
-            "--threads" => match raw.next().and_then(|n| n.parse::<usize>().ok()) {
-                Some(n) if n >= 1 => threads = Some(n),
+            "--threads" => match raw
+                .next()
+                .and_then(|n| n.parse::<usize>().ok())
+                .map(kgfd_pool::resolve_threads)
+            {
+                Some(Ok(n)) => threads = Some(n),
                 _ => {
                     eprintln!("--threads needs a positive integer argument");
                     std::process::exit(2);

@@ -126,12 +126,17 @@ impl GridOptions {
 /// Runs the grid at the given scale. Models come from the zoo (trained once,
 /// disk-cached); each (dataset, model, strategy) cell is one discovery run.
 pub fn run_grid(scale: Scale, options: &GridOptions) -> GridResults {
+    // Central thread policy: zero is a caller bug (loud), over-wide
+    // requests are clamped to the pool with a warning event.
+    let threads =
+        kgfd_pool::resolve_threads(options.threads).expect("grid options: threads must be >= 1");
+    let train_threads = kgfd_pool::resolve_threads(options.train_threads)
+        .expect("grid options: train_threads must be >= 1");
     let mut cells = Vec::new();
     for &dataset in &options.datasets {
         let data = dataset.load(scale);
         for &model_kind in &options.models {
-            let model =
-                trained_model_threaded(dataset, model_kind, scale, &data, options.train_threads);
+            let model = trained_model_threaded(dataset, model_kind, scale, &data, train_threads);
             for &strategy in &options.strategies {
                 let _cell = crate::cell_observer(
                     options.metrics_dir.as_deref(),
@@ -159,7 +164,7 @@ pub fn run_grid(scale: Scale, options: &GridOptions) -> GridResults {
                     top_n: options.top_n,
                     max_candidates: options.max_candidates,
                     seed: options.seed,
-                    threads: options.threads,
+                    threads,
                     chunk_size: options.chunk_size,
                     top_k: options.top_k,
                     ..DiscoveryConfig::default()

@@ -119,15 +119,14 @@ impl SweepOptions {
 
 /// Runs the §4.3 sweep on FB15K-237-like with TransE.
 pub fn run_sweep(scale: Scale, options: &SweepOptions) -> SweepResults {
+    // Central thread policy, shared with the CLI and grid (see kgfd-pool).
+    let threads =
+        kgfd_pool::resolve_threads(options.threads).expect("sweep options: threads must be >= 1");
+    let train_threads = kgfd_pool::resolve_threads(options.train_threads)
+        .expect("sweep options: train_threads must be >= 1");
     let dataset = DatasetRef::Fb15k237;
     let data = dataset.load(scale);
-    let model = trained_model_threaded(
-        dataset,
-        ModelKind::TransE,
-        scale,
-        &data,
-        options.train_threads,
-    );
+    let model = trained_model_threaded(dataset, ModelKind::TransE, scale, &data, train_threads);
 
     let mut cells = Vec::new();
     for &strategy in &options.strategies {
@@ -152,7 +151,7 @@ pub fn run_sweep(scale: Scale, options: &SweepOptions) -> SweepResults {
                     top_n,
                     max_candidates,
                     seed: options.seed,
-                    threads: options.threads,
+                    threads,
                     chunk_size: options.chunk_size,
                     top_k: options.top_k,
                     ..DiscoveryConfig::default()

@@ -53,6 +53,12 @@ pub enum KgError {
         /// The offending value (NaN, +∞, or −∞).
         value: f64,
     },
+    /// A worker thread panicked while running a parallel job (training
+    /// shard, discovery relation, ranking chunk). The panic is caught at
+    /// the pool boundary and surfaced as this typed error instead of
+    /// hanging the dispatcher or aborting the process; the payload is
+    /// rendered into the message.
+    WorkerPanic(String),
     /// A sampling-weight vector contained a NaN or infinite entry. Rejected
     /// loudly: a NaN weight would otherwise poison CDF/alias-table
     /// construction silently (NaN propagates into the running total, which
@@ -95,6 +101,7 @@ impl std::fmt::Display for KgError {
                 f,
                 "non-finite score {value} at index {index}; scores must be finite"
             ),
+            KgError::WorkerPanic(msg) => write!(f, "worker panicked: {msg}"),
             KgError::NonFiniteWeight { index, value } => write!(
                 f,
                 "non-finite sampling weight {value} at index {index}; weights must be finite"

@@ -52,8 +52,9 @@ pub enum Payload {
         /// Message text.
         text: String,
     },
-    /// The closing record of a run.
-    Manifest(RunManifest),
+    /// The closing record of a run. Boxed: a manifest is emitted once per
+    /// run and is an order of magnitude larger than every other variant.
+    Manifest(Box<RunManifest>),
 }
 
 /// Message severity. `Progress` and `Info` may be rate-limited or dropped

@@ -51,7 +51,7 @@ pub use event::{Event, Field, FieldValue, Level, Payload};
 pub use export::{
     chrome_trace, flamegraph_collapsed, top_spans_json, TraceNode, TraceSummary, TraceTree,
 };
-pub use manifest::{DatasetShape, RunManifest};
+pub use manifest::{DatasetShape, PoolPhase, PoolSummary, RunManifest};
 pub use metrics::{
     counter, gauge, histogram, registry, Counter, Gauge, Histogram, HistogramSummary,
     MetricsSnapshot, Registry,

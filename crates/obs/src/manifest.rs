@@ -13,6 +13,59 @@ pub struct DatasetShape {
     pub triples: u64,
 }
 
+/// Utilization of the worker pool during one phase of a run: the fraction
+/// of `pool_size × phase wall-clock` the workers spent busy (0.0–1.0).
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct PoolPhase {
+    /// Phase label the jobs ran under (e.g. `train`, `discover`).
+    pub phase: String,
+    /// Busy fraction for that phase.
+    pub utilization: f64,
+}
+
+/// Activity of the process-wide worker pool over the run. Populated at
+/// [`RunManifest::emit`] time from this registry's `pool.*` metrics (the
+/// pool crate publishes them by name; obs never depends on the pool).
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct PoolSummary {
+    /// Jobs executed on pool workers (inline fallbacks excluded).
+    pub jobs: u64,
+    /// Median time a job waited in a worker's queue, in microseconds.
+    pub queue_wait_us_p50: Option<f64>,
+    /// 95th-percentile queue wait, in microseconds.
+    pub queue_wait_us_p95: Option<f64>,
+    /// Busy fraction per phase, in phase-name order.
+    pub utilization: Vec<PoolPhase>,
+}
+
+/// Reads the pool's activity out of the metrics registry; `None` when no
+/// pool job ran (e.g. a single-threaded run).
+fn pool_summary() -> Option<PoolSummary> {
+    let jobs = crate::counter("pool.jobs").get();
+    if jobs == 0 {
+        return None;
+    }
+    let wait = crate::histogram("pool.queue_wait_us");
+    let utilization = crate::registry()
+        .snapshot()
+        .gauges
+        .into_iter()
+        .filter_map(|(name, value)| {
+            let phase = name.strip_prefix("pool.utilization.")?;
+            Some(PoolPhase {
+                phase: phase.to_string(),
+                utilization: value,
+            })
+        })
+        .collect();
+    Some(PoolSummary {
+        jobs,
+        queue_wait_us_p50: wait.quantile(0.5),
+        queue_wait_us_p95: wait.quantile(0.95),
+        utilization,
+    })
+}
+
 /// Machine-readable summary emitted at the end of every run — the last
 /// line of a JSONL sink.
 #[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
@@ -46,6 +99,10 @@ pub struct RunManifest {
     /// [`RunManifest::emit`] time from the process collector (without
     /// draining it — exports still see the full tree).
     pub trace: Option<crate::export::TraceSummary>,
+    /// Worker-pool activity (job count, queue-wait quantiles, per-phase
+    /// utilization); `null` when no pool job ran. Populated at
+    /// [`RunManifest::emit`] time from this registry's `pool.*` metrics.
+    pub pool: Option<PoolSummary>,
 }
 
 impl RunManifest {
@@ -83,6 +140,9 @@ impl RunManifest {
                 manifest.trace = Some(tree.summary());
             }
         }
-        crate::observer::emit(Payload::Manifest(manifest));
+        if manifest.pool.is_none() {
+            manifest.pool = pool_summary();
+        }
+        crate::observer::emit(Payload::Manifest(Box::new(manifest)));
     }
 }

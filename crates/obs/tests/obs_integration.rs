@@ -85,6 +85,7 @@ fn jsonl_sink_lines_round_trip_through_the_event_schema() {
             recoveries: Vec::new(),
             resumed_from: None,
             trace: None,
+            pool: None,
         }
         .emit();
     }

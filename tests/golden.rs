@@ -151,6 +151,15 @@ fn run_manifest_event_schema_is_stable() {
                 self_us: 2_000_000,
             }],
         }),
+        pool: Some(kgfd_obs::PoolSummary {
+            jobs: 48,
+            queue_wait_us_p50: Some(12.5),
+            queue_wait_us_p95: Some(85.0),
+            utilization: vec![kgfd_obs::PoolPhase {
+                phase: "discover".to_string(),
+                utilization: 0.82,
+            }],
+        }),
     }
     .with_config("top_n", 500usize)
     .with_config("max_candidates", 500usize)
@@ -161,7 +170,7 @@ fn run_manifest_event_schema_is_stable() {
     let event = kgfd_obs::Event {
         run: "golden-run".to_string(),
         t_us: 1_000_000,
-        payload: kgfd_obs::Payload::Manifest(manifest),
+        payload: kgfd_obs::Payload::Manifest(Box::new(manifest)),
     };
     let json = serde_json::to_string_pretty(&event).unwrap();
     assert_matches_golden("run_manifest_event.json", &json);

@@ -276,6 +276,7 @@ fn zoo_recovery_is_visible_in_the_jsonl_run_manifest() {
             recoveries: Vec::new(),
             resumed_from: None,
             trace: None,
+            pool: None,
         }
         .emit();
     }
