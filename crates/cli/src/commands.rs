@@ -79,6 +79,18 @@ COMMANDS:
   complete  --train <TSV> --model-file <FILE> --relation <LABEL>
             (--subject <LABEL> | --object <LABEL>) [--top 10]
             answer a link-prediction query: rank completions of one side
+  serve     --train <TSV> (--model-file <FILE> | --models-dir <DIR>)
+            [--addr 127.0.0.1:8080] [--workers 4] [--max-inflight 64]
+            [--deadline-ms 10000] [--cache-entries 256] [--rank-threads 2]
+            [--for-secs <SECS>]
+            serve POST /v1/score, /v1/rank, /v1/discover (plus /healthz,
+            /metrics, /v1/models, /v1/reload) over HTTP; models come from
+            `kgfd train` files (named by file stem) and hot-reload on
+            demand; requests beyond --max-inflight are shed with 429 +
+            Retry-After, each request gets a --deadline-ms budget (typed
+            408 on expiry), repeated queries hit an LRU response cache
+            (bit-identical to the cold path), and SIGTERM drains
+            gracefully: in-flight requests finish, new ones get 503
   help      this text
 
 OBSERVABILITY (any command):
@@ -287,9 +299,15 @@ fn dataset_shape(store: &TripleStore) -> kgfd_obs::DatasetShape {
 /// Dispatches a parsed command line.
 pub fn run(args: &Args) -> CmdResult {
     let _observer = install_observer(args)?;
+    // Set the phase before `tracing_setup` can bind (and announce) the
+    // `--serve-metrics` endpoint: a scraper that hits /healthz the moment
+    // the address is printed must already see this command's phase, not a
+    // leftover of whatever ran before.
+    if let Some(cmd) = args.command.as_deref() {
+        kgfd_obs::set_phase(cmd);
+    }
     let (trace_flags, server) = tracing_setup(args)?;
     let root_span = args.command.as_deref().map(|cmd| {
-        kgfd_obs::set_phase(cmd);
         // One trace-only root per invocation: everything the command opens
         // (discover.total, training epochs, ...) nests under it, so trace
         // exports have a single root whose duration is the run itself.
@@ -314,6 +332,7 @@ fn dispatch(args: &Args) -> CmdResult {
         Some("audit-inverse") => cmd_audit_inverse(args),
         Some("fit") => cmd_fit(args),
         Some("complete") => cmd_complete(args),
+        Some("serve") => cmd_serve(args),
         Some("help") | None => Ok(USAGE.to_string()),
         Some(other) => Err(format!("unknown command {other:?}\n\n{USAGE}").into()),
     }
@@ -964,6 +983,128 @@ fn cmd_complete(args: &Args) -> CmdResult {
         ));
     }
     Ok(out)
+}
+
+/// `kgfd serve` — the online serving mode: load models, answer HTTP
+/// queries until SIGTERM (or `--for-secs` expires), drain, report.
+fn cmd_serve(args: &Args) -> CmdResult {
+    let start = Instant::now();
+    let (vocab, triples) = load_graph(args.required("train")?)?;
+    let store = store_of(&vocab, triples)?;
+    let shape = dataset_shape(&store);
+    let registry = Arc::new(kgfd_serve::ModelRegistry::new(
+        kgfd_serve::GraphContext::new(vocab, store),
+    ));
+
+    // Models: a single --model-file (named by its stem) and/or every
+    // regular file in --models-dir. Loads are validated against the graph.
+    if let Some(path) = args.get("model-file") {
+        let name = Path::new(path)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .ok_or_else(|| format!("cannot derive a model name from {path:?}"))?
+            .to_string();
+        registry.load(&name, path)?;
+    }
+    if let Some(dir) = args.get("models-dir") {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
+            .map_err(|e| format!("cannot read {dir}: {e}"))?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_file())
+            .collect();
+        entries.sort(); // deterministic load order (and generation numbers)
+        for path in entries {
+            let Some(name) = path.file_stem().and_then(|s| s.to_str()) else {
+                continue;
+            };
+            registry.load(name, &path)?;
+        }
+    }
+    if registry.is_empty() {
+        return Err("no models to serve: provide --model-file and/or --models-dir".into());
+    }
+
+    let config = kgfd_serve::ServeConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:8080").to_string(),
+        workers: args.parse_or("workers", 4usize, "integer")?.max(1),
+        max_inflight: args.parse_or("max-inflight", 64usize, "integer")?.max(1),
+        deadline_ms: args.parse_or("deadline-ms", 10_000u64, "integer")?,
+        cache_entries: args.parse_or("cache-entries", 256usize, "integer")?,
+        cache_seed: args.parse_or("cache-seed", 0u64, "integer")?,
+        rank_threads: args.parse_or("rank-threads", 2usize, "integer")?.max(1),
+        enable_test_endpoints: args.flag("test-endpoints"),
+        ..kgfd_serve::ServeConfig::default()
+    };
+    let for_secs = match args.get("for-secs") {
+        Some(v) => Some(
+            v.parse::<u64>()
+                .map_err(|_| format!("--for-secs expects an integer, got {v:?}"))?,
+        ),
+        None => None,
+    };
+
+    kgfd_serve::install_termination_handler();
+    let server = kgfd_serve::Server::start(config.clone(), Arc::clone(&registry))
+        .map_err(|e| format!("cannot serve on {}: {e}", config.addr))?;
+    // Announce the bound address (ephemeral ports become usable) in the
+    // same shape `--serve-metrics` uses.
+    if !args.flag("quiet") {
+        eprintln!("serving kgfd on http://{}", server.local_addr());
+    }
+
+    loop {
+        if kgfd_serve::termination_requested() {
+            break;
+        }
+        if let Some(secs) = for_secs {
+            if start.elapsed() >= Duration::from_secs(secs) {
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let stats = server.shutdown();
+
+    let mut manifest = kgfd_obs::RunManifest::new("serve");
+    manifest.dataset = shape;
+    manifest.wall_clock_s = start.elapsed().as_secs_f64();
+    manifest
+        .with_config("serve.workers", config.workers)
+        .with_config("serve.max_inflight", config.max_inflight)
+        .with_config("serve.deadline_ms", config.deadline_ms)
+        .with_config("serve.cache_entries", config.cache_entries)
+        .with_config("serve.rank_threads", config.rank_threads)
+        .with_config("serve.models", registry.len())
+        .with_config("serve.requests", stats.requests)
+        .with_config("serve.responses_2xx", stats.responses_2xx)
+        .with_config("serve.responses_4xx", stats.responses_4xx)
+        .with_config("serve.responses_5xx", stats.responses_5xx)
+        .with_config("serve.shed", stats.shed)
+        .with_config("serve.deadline_expired", stats.deadline_expired)
+        .with_config("serve.cache_hits", stats.cache_hits)
+        .with_config("serve.cache_misses", stats.cache_misses)
+        .with_config("serve.worker_panics", stats.worker_panics)
+        .with_config("serve.workers_spawned", stats.workers_spawned)
+        .with_config("serve.workers_joined", stats.workers_joined)
+        .emit();
+
+    Ok(format!(
+        "served {} requests in {:.2?} ({} 2xx, {} 4xx, {} 5xx; {} shed, {} deadline-expired)\n\
+         cache: {} hits, {} misses\n\
+         drained cleanly: {}/{} workers joined, {} handler panics",
+        stats.requests,
+        start.elapsed(),
+        stats.responses_2xx,
+        stats.responses_4xx,
+        stats.responses_5xx,
+        stats.shed,
+        stats.deadline_expired,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.workers_joined,
+        stats.workers_spawned,
+        stats.worker_panics,
+    ))
 }
 
 fn cmd_audit_inverse(args: &Args) -> CmdResult {

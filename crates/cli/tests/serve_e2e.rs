@@ -1,0 +1,160 @@
+//! End-to-end test of `kgfd serve` as a real process: boot, announce,
+//! liveness phase, one query per endpoint, SIGTERM drain, exit 0.
+
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn kgfd() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_kgfd"))
+}
+
+fn tempdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("kgfd-serve-e2e-{name}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// One HTTP request over a fresh connection; returns the raw response.
+fn request(addr: &str, method: &str, path: &str, body: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    stream.flush().unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    response
+}
+
+#[test]
+fn serve_boots_answers_and_drains_on_sigterm() {
+    let dir = tempdir("drain");
+    let train_tsv = dir.join("train.tsv");
+    let model_file = dir.join("toy.kgm");
+
+    // Fixture: the toy dataset and a small model trained on it, written
+    // through the same library code the CLI uses.
+    let data = kgfd_datasets::toy_biomedical();
+    let tsv = std::fs::File::create(&train_tsv).unwrap();
+    kgfd_kg::write_triples_tsv(tsv, data.train.triples(), &data.vocab).unwrap();
+    let (model, _) = kgfd_embed::train(
+        kgfd_embed::ModelKind::DistMult,
+        &data.train,
+        &kgfd_embed::TrainConfig {
+            dim: 8,
+            epochs: 5,
+            seed: 3,
+            ..kgfd_embed::TrainConfig::default()
+        },
+    );
+    kgfd_embed::write_model_file(&model_file, model.as_ref()).unwrap();
+
+    let mut child = kgfd()
+        .args([
+            "serve",
+            "--train",
+            train_tsv.to_str().unwrap(),
+            "--model-file",
+            model_file.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+            "--serve-metrics",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--for-secs",
+            "60",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn kgfd serve");
+
+    // Both endpoints announce their bound (ephemeral) addresses on stderr.
+    let stderr = BufReader::new(child.stderr.take().unwrap());
+    let mut serve_addr = None;
+    let mut metrics_addr = None;
+    let parse = |line: &str, prefix: &str| {
+        line.strip_prefix(prefix)
+            .map(|rest| rest.trim().trim_start_matches("http://").to_string())
+    };
+    for line in stderr.lines() {
+        let line = line.unwrap();
+        if let Some(a) = parse(&line, "serving kgfd on ") {
+            serve_addr = Some(a);
+        } else if let Some(a) = parse(&line, "serving metrics on ") {
+            metrics_addr = Some(a);
+        }
+        if serve_addr.is_some() && metrics_addr.is_some() {
+            break;
+        }
+    }
+    let serve_addr = serve_addr.expect("serve address announced");
+    let metrics_addr = metrics_addr.expect("metrics address announced");
+
+    // The phase race regression, end to end: the *first* scrape after the
+    // announce must already report this command's phase.
+    let health = request(&metrics_addr, "GET", "/healthz", "");
+    assert!(
+        health.contains("\"phase\":\"serve\""),
+        "metrics /healthz must show phase serve immediately, got: {health}"
+    );
+
+    // The serving endpoints answer.
+    let health = request(&serve_addr, "GET", "/healthz", "");
+    assert!(health.contains("\"status\":\"ok\""), "got: {health}");
+    assert!(health.contains("toy"), "got: {health}");
+    let t = data.train.triples()[0];
+    let body = format!(
+        "{{\"model\": \"toy\", \"triples\": [[\"{}\", \"{}\", \"{}\"]]}}",
+        data.vocab.entity_label(t.subject).unwrap(),
+        data.vocab.relation_label(t.relation).unwrap(),
+        data.vocab.entity_label(t.object).unwrap()
+    );
+    let rank = request(&serve_addr, "POST", "/v1/rank", &body);
+    assert!(rank.starts_with("HTTP/1.1 200"), "got: {rank}");
+    let bad = request(&serve_addr, "POST", "/v1/rank", "{oops");
+    assert!(bad.starts_with("HTTP/1.1 400"), "got: {bad}");
+
+    // SIGTERM → graceful drain → exit 0 with the closing report.
+    let pid = child.id().to_string();
+    let status = Command::new("kill")
+        .args(["-TERM", &pid])
+        .status()
+        .expect("send SIGTERM");
+    assert!(status.success());
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let exit = loop {
+        if let Some(status) = child.try_wait().unwrap() {
+            break status;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "kgfd serve did not exit on SIGTERM"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert!(exit.success(), "drained exit must be 0, got {exit:?}");
+    let mut stdout = String::new();
+    child
+        .stdout
+        .take()
+        .unwrap()
+        .read_to_string(&mut stdout)
+        .unwrap();
+    assert!(
+        stdout.contains("drained cleanly: 2/2 workers joined, 0 handler panics"),
+        "closing report must show a clean drain, got: {stdout}"
+    );
+}

@@ -80,6 +80,14 @@ pub struct DiscoveryConfig {
     /// run. `None` (default) keeps every fact within `top_n` — the paper's
     /// behaviour, bit-identical to [`discover_facts_materialized`].
     pub top_k: Option<usize>,
+    /// Cooperative wall-clock budget for the run. Checked at every
+    /// streaming chunk boundary (the engine's natural preemption points);
+    /// once the instant passes, the run stops with
+    /// [`KgError::DeadlineExceeded`] instead of completing — partial facts
+    /// are discarded so a timed-out run never looks like a short one.
+    /// `None` (default) = unbounded. Use [`try_discover_facts`] when
+    /// setting this; the panicking wrapper treats the timeout as fatal.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Default for DiscoveryConfig {
@@ -100,6 +108,7 @@ impl Default for DiscoveryConfig {
                 .unwrap_or(1),
             chunk_size: 128,
             top_k: None,
+            deadline: None,
         }
     }
 }
@@ -215,7 +224,7 @@ fn run_discovery(
     // entities per side fill the budget in one iteration in expectation.
     let sample_size = (config.max_candidates as f64).sqrt() as usize + 10;
 
-    let run_one = |r: RelationId, rank_threads: usize| -> RelationOutcome {
+    let run_one = |r: RelationId, rank_threads: usize| -> Result<RelationOutcome, KgError> {
         match engine {
             Engine::Streaming => discover_relation_streaming(
                 model,
@@ -228,7 +237,7 @@ fn run_discovery(
                 consolidated.as_ref(),
                 rank_threads,
             ),
-            Engine::Materialized => discover_relation_materialized(
+            Engine::Materialized => Ok(discover_relation_materialized(
                 model,
                 store,
                 config,
@@ -239,7 +248,7 @@ fn run_discovery(
                 consolidated.as_ref(),
                 sample_size,
                 rank_threads,
-            ),
+            )),
         }
     };
 
@@ -262,7 +271,7 @@ fn run_discovery(
                 let _rel_span = kgfd_obs::span_traced!("discover.relation", relation = r.0);
                 run_one(r, config.threads)
             })
-            .collect()
+            .collect::<Result<_, _>>()?
     } else {
         let per_worker = relations.len().div_ceil(workers);
         let mut collected = Vec::with_capacity(relations.len());
@@ -284,7 +293,7 @@ fn run_discovery(
                                 );
                                 run_one(r, 1)
                             })
-                            .collect::<Vec<_>>()
+                            .collect::<Result<Vec<_>, KgError>>()
                     })
                 })
                 .collect();
@@ -293,7 +302,7 @@ fn run_discovery(
             // the scope exit to resume.
             let joined: Vec<_> = handles.into_iter().map(|h| h.try_join()).collect();
             for part in joined {
-                collected.extend(part.map_err(worker_panic_error)?);
+                collected.extend(part.map_err(worker_panic_error)??);
             }
             Ok::<(), KgError>(())
         })?;
@@ -357,7 +366,7 @@ fn discover_relation_streaming(
     rules: Option<&CandidateRules>,
     consolidated: Option<&(SideIndex, SideIndex)>,
     rank_threads: usize,
-) -> RelationOutcome {
+) -> Result<RelationOutcome, KgError> {
     // Stream setup (pool resolution, weights, alias tables) is generation
     // work; time it under the same phase as the draw loop.
     let setup_span = kgfd_obs::span_traced!("discover.generation", relation = r.0);
@@ -371,6 +380,15 @@ fn discover_relation_streaming(
     let mut chunk: Vec<Triple> = Vec::with_capacity(chunk_size.min(config.max_candidates));
     let mut peak_buffer = 0usize;
     loop {
+        // Chunk boundaries are the engine's preemption points: between
+        // chunks no pool job is in flight, so stopping here loses at most
+        // one chunk of work and never strands a ranking kernel.
+        if let Some(deadline) = config.deadline {
+            if std::time::Instant::now() >= deadline {
+                kgfd_obs::counter("discover.deadline_exceeded").inc();
+                return Err(KgError::DeadlineExceeded);
+            }
+        }
         chunk.clear();
         let gen_span = kgfd_obs::span_traced!("discover.generation", relation = r.0);
         stream.fill_chunk(&mut chunk, chunk_size);
@@ -435,7 +453,7 @@ fn discover_relation_streaming(
         generation,
         evaluation,
     };
-    RelationOutcome { facts, breakdown }
+    Ok(RelationOutcome { facts, breakdown })
 }
 
 /// Materialized generation + ranking for a single relation (Algorithm 1
@@ -720,6 +738,34 @@ mod tests {
                 other => panic!("expected Invariant error, got {:?}", other.map(|r| r.facts)),
             }
         }
+    }
+
+    #[test]
+    fn expired_deadline_yields_the_typed_timeout() {
+        let (data, model) = trained_toy();
+        for threads in [1, 2] {
+            let mut cfg = quick_config(StrategyKind::UniformRandom);
+            cfg.threads = threads;
+            cfg.deadline = Some(std::time::Instant::now() - Duration::from_millis(1));
+            match try_discover_facts(model.as_ref(), &data.train, &cfg) {
+                Err(KgError::DeadlineExceeded) => {}
+                other => panic!(
+                    "threads={threads}: expected DeadlineExceeded, got {:?}",
+                    other.map(|r| r.facts)
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn generous_deadline_changes_nothing() {
+        let (data, model) = trained_toy();
+        let base = quick_config(StrategyKind::EntityFrequency);
+        let unbounded = discover_facts(model.as_ref(), &data.train, &base);
+        let mut timed = base.clone();
+        timed.deadline = Some(std::time::Instant::now() + Duration::from_secs(3600));
+        let bounded = try_discover_facts(model.as_ref(), &data.train, &timed).unwrap();
+        assert_eq!(unbounded.facts, bounded.facts);
     }
 
     #[test]

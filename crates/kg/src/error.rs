@@ -59,6 +59,12 @@ pub enum KgError {
     /// hanging the dispatcher or aborting the process; the payload is
     /// rendered into the message.
     WorkerPanic(String),
+    /// A cooperative deadline expired mid-run: the operation checked its
+    /// time budget at a safe boundary (a streaming chunk, a queued serve
+    /// request) and stopped there instead of consuming workers past its
+    /// deadline. Partial results are discarded — the caller either retries
+    /// with a larger budget or reports the timeout.
+    DeadlineExceeded,
     /// A sampling-weight vector contained a NaN or infinite entry. Rejected
     /// loudly: a NaN weight would otherwise poison CDF/alias-table
     /// construction silently (NaN propagates into the running total, which
@@ -102,6 +108,12 @@ impl std::fmt::Display for KgError {
                 "non-finite score {value} at index {index}; scores must be finite"
             ),
             KgError::WorkerPanic(msg) => write!(f, "worker panicked: {msg}"),
+            KgError::DeadlineExceeded => {
+                write!(
+                    f,
+                    "deadline exceeded: run stopped at a cooperative checkpoint"
+                )
+            }
             KgError::NonFiniteWeight { index, value } => write!(
                 f,
                 "non-finite sampling weight {value} at index {index}; weights must be finite"
@@ -192,6 +204,12 @@ mod tests {
         }
         .to_string();
         assert!(msg.contains("index 3") && msg.contains("NaN"), "{msg}");
+    }
+
+    #[test]
+    fn deadline_exceeded_reads_as_a_timeout() {
+        let msg = KgError::DeadlineExceeded.to_string();
+        assert!(msg.contains("deadline"), "{msg}");
     }
 
     #[test]

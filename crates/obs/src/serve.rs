@@ -235,6 +235,10 @@ fn trace_json() -> String {
 mod tests {
     use super::*;
 
+    /// `PHASE` is process-global; tests that set it take this lock so the
+    /// harness's thread-per-test execution cannot interleave them.
+    static PHASE_TEST_LOCK: Mutex<()> = Mutex::new(());
+
     fn get(addr: SocketAddr, path: &str) -> String {
         let mut stream = TcpStream::connect(addr).expect("connect");
         let request = format!("GET {path} HTTP/1.1\r\nHost: test\r\n\r\n");
@@ -246,6 +250,7 @@ mod tests {
 
     #[test]
     fn serves_metrics_healthz_trace_and_404() {
+        let _phase = PHASE_TEST_LOCK.lock();
         registry().counter("serve.test.requests").add(3);
         registry().gauge("serve.test.loss").set(0.25);
         let h = registry().histogram("serve.test.latency_us");
@@ -279,6 +284,24 @@ mod tests {
         let missing = get(addr, "/nope");
         assert!(missing.starts_with("HTTP/1.1 404"), "got {missing}");
 
+        server.shutdown();
+    }
+
+    #[test]
+    fn phase_set_before_start_is_visible_on_the_first_request() {
+        // Regression: callers must be able to declare the phase *before*
+        // binding the endpoint so that the very first scrape — issued the
+        // instant the bound address is announced — already reports it.
+        // (`kgfd` once called `set_phase` after `MetricsServer::start`,
+        // leaving a window where /healthz showed a stale or null phase.)
+        let _phase = PHASE_TEST_LOCK.lock();
+        set_phase("pre-bind-phase");
+        let server = MetricsServer::start("127.0.0.1:0").expect("bind");
+        let health = get(server.local_addr(), "/healthz");
+        assert!(
+            health.contains("\"phase\":\"pre-bind-phase\""),
+            "first /healthz after bind must show the pre-bind phase, got: {health}"
+        );
         server.shutdown();
     }
 

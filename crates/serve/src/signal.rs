@@ -1,0 +1,69 @@
+//! Dependency-free SIGTERM/SIGINT latching for graceful drain.
+//!
+//! The handler does the only thing an async-signal-safe handler may do
+//! here: store into a static atomic. The serve loop polls
+//! [`termination_requested`] and runs the actual drain (refuse new work,
+//! finish admitted requests, join workers) in ordinary code.
+//!
+//! `std` already links the platform C runtime on unix, so `signal(2)` is
+//! declared directly instead of pulling in a libc crate. On non-unix
+//! targets installation is a no-op and the flag only ever reads `false`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TERMINATION_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+/// True once SIGTERM or SIGINT has been delivered (after
+/// [`install_termination_handler`]).
+pub fn termination_requested() -> bool {
+    TERMINATION_REQUESTED.load(Ordering::SeqCst)
+}
+
+/// Test/driver hook: latch the flag as if a signal had arrived.
+pub fn request_termination() {
+    TERMINATION_REQUESTED.store(true, Ordering::SeqCst);
+}
+
+/// Installs the latching handler for SIGTERM and SIGINT. Idempotent;
+/// replaces any previously installed disposition for those signals.
+#[cfg(unix)]
+pub fn install_termination_handler() {
+    use std::os::raw::c_int;
+
+    const SIGINT: c_int = 2;
+    const SIGTERM: c_int = 15;
+
+    extern "C" fn on_signal(_signum: c_int) {
+        TERMINATION_REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: c_int, handler: usize) -> usize;
+    }
+
+    let handler = on_signal as extern "C" fn(c_int) as *const () as usize;
+    unsafe {
+        signal(SIGTERM, handler);
+        signal(SIGINT, handler);
+    }
+}
+
+/// No signals to install on non-unix targets; the drain flag can still be
+/// raised programmatically via [`request_termination`].
+#[cfg(not(unix))]
+pub fn install_termination_handler() {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_request_latches() {
+        install_termination_handler();
+        // The flag is process-global; this test only ever sets it, and no
+        // other test in this crate reads it.
+        assert!(!termination_requested() || cfg!(not(unix)));
+        request_termination();
+        assert!(termination_requested());
+    }
+}
